@@ -1,0 +1,87 @@
+// Command amnesiac runs one benchmark of the suite under classic and
+// amnesic execution and reports energy, time, EDP, and the amnesic
+// runtime statistics.
+//
+// Usage:
+//
+//	amnesiac -bench is -scale 0.5
+//	amnesiac -bench mcf -policies Compiler,FLC
+//	amnesiac -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/stats"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark name (see -list)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		list     = flag.Bool("list", false, "list available benchmarks")
+		policies = flag.String("policies", strings.Join(harness.PolicyLabels, ","), "comma-separated policies to report")
+		verbose  = flag.Bool("v", false, "print compiled slice details")
+	)
+	flag.Parse()
+
+	if *list {
+		t := stats.NewTable("Name", "Suite", "Input", "Responsive", "Description")
+		for _, w := range workloads.All() {
+			t.Row(w.Name, w.Suite, w.Input, w.Responsive, w.Description)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "amnesiac: -bench is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	res, err := harness.Run(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark %s (%s, input %s), scale %.2f\n", w.Name, w.Suite, w.Input, *scale)
+	fmt.Printf("classic: %.0f nJ, %.0f ns, EDP %.3e nJ*ns, %d instrs (%d loads, %d stores)\n",
+		res.Classic.Acct.EnergyNJ, res.Classic.Acct.TimeNS, res.Classic.Acct.EDP(),
+		res.Classic.Acct.Instrs, res.Classic.Acct.Loads, res.Classic.Acct.Stores)
+	fmt.Printf("compiled slices: %d selected (of %d loads seen); stats %+v\n",
+		len(res.Ann.Slices), res.Ann.Stats.LoadsSeen, res.Ann.Stats)
+	if *verbose {
+		for _, si := range res.Ann.Slices {
+			fmt.Printf("  slice %d: load @%d, len %d, Eld %.2f nJ, Erc %.2f nJ, hist entries %d\n",
+				si.ID, si.LoadPC, si.Slice.Len(), si.ExpectedEld, si.ExpectedErc, si.HistEntries)
+			fmt.Print(si.Slice.String())
+		}
+	}
+
+	t := stats.NewTable("Policy", "Energy (nJ)", "Time (ns)", "EDP gain", "Energy gain", "Time gain", "RCMP fired/total", "Verified")
+	for _, label := range strings.Split(*policies, ",") {
+		run, ok := res.Runs[strings.TrimSpace(label)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "amnesiac: unknown policy %q\n", label)
+			os.Exit(1)
+		}
+		t.Row(run.Label,
+			fmt.Sprintf("%.0f", run.Acct.EnergyNJ), fmt.Sprintf("%.0f", run.Acct.TimeNS),
+			fmt.Sprintf("%+.2f%%", run.EDPGain), fmt.Sprintf("%+.2f%%", run.EnergyGain), fmt.Sprintf("%+.2f%%", run.TimeGain),
+			fmt.Sprintf("%d/%d", run.Stat.RcmpRecomputed, run.Stat.RcmpTotal), run.Verified)
+	}
+	t.Render(os.Stdout)
+}

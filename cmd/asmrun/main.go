@@ -1,0 +1,125 @@
+// Command asmrun assembles a textual IR program and executes it on the
+// classic core, optionally passing it through the amnesic compiler first.
+//
+// Usage:
+//
+//	asmrun prog.s
+//	asmrun -amnesic -policy FLC prog.s
+//	asmrun -dump prog.s          # print the (annotated) program and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+func main() {
+	var (
+		amnesicMode = flag.Bool("amnesic", false, "compile and run amnesic alongside classic")
+		policyName  = flag.String("policy", "FLC", "amnesic policy: Compiler, FLC, LLC, Exact")
+		dump        = flag.Bool("dump", false, "print the (annotated) program and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmrun [flags] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Parse(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun:", err)
+		os.Exit(1)
+	}
+
+	model := energy.Default()
+	initial := mem.NewMemory()
+
+	if *dump && !*amnesicMode {
+		fmt.Print(asm.Format(prog))
+		return
+	}
+
+	classic, err := cpu.RunProgram(model, prog, initial.Clone())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun: classic:", err)
+		os.Exit(1)
+	}
+	printResult("classic", classic.Acct.EnergyNJ, classic.Acct.TimeNS, classic.Acct.Instrs)
+	printRegs(classic.Regs)
+
+	if !*amnesicMode {
+		return
+	}
+	prof, err := profile.Collect(model, prog, initial)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun: profile:", err)
+		os.Exit(1)
+	}
+	ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun: compile:", err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(asm.Format(ann.Prog))
+		return
+	}
+	var k policy.Kind
+	switch *policyName {
+	case "Compiler":
+		k = policy.Compiler
+	case "FLC":
+		k = policy.FLC
+	case "LLC":
+		k = policy.LLC
+	case "Exact":
+		k = policy.Exact
+	default:
+		fmt.Fprintf(os.Stderr, "asmrun: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(k), uarch.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun:", err)
+		os.Exit(1)
+	}
+	if err := machine.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun: amnesic:", err)
+		os.Exit(1)
+	}
+	printResult("amnesic("+*policyName+")", machine.Acct.EnergyNJ, machine.Acct.TimeNS, machine.Acct.Instrs)
+	fmt.Printf("  slices: %d, rcmp fired %d/%d\n", len(ann.Slices), machine.Stat.RcmpRecomputed, machine.Stat.RcmpTotal)
+	if machine.Regs != classic.Regs {
+		fmt.Fprintln(os.Stderr, "asmrun: WARNING: amnesic registers diverge from classic")
+		os.Exit(1)
+	}
+	fmt.Println("  architectural state matches classic execution")
+}
+
+func printResult(label string, e, t float64, instrs uint64) {
+	fmt.Printf("%s: %.1f nJ, %.1f ns, EDP %.3e, %d instrs\n", label, e, t, e*t, instrs)
+}
+
+func printRegs(regs [isa.NumRegs]uint64) {
+	for r, v := range regs {
+		if v != 0 {
+			fmt.Printf("  r%-2d = %#x (%d)\n", r, v, v)
+		}
+	}
+}

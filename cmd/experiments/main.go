@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4-§5) from the simulator.
+//
+// Usage:
+//
+//	experiments                      # everything, full scale
+//	experiments -exp fig3,table5     # selected artifacts
+//	experiments -scale 0.35          # quicker, smaller working sets
+//	experiments -suite all           # include the 22 low-benefit benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		suite = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
+		maxR  = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	has := func(k string) bool { return want["all"] || want[k] }
+
+	out := os.Stdout
+	if has("table1") {
+		harness.Table1(out)
+		fmt.Fprintln(out)
+	}
+	if has("table2") {
+		harness.Table2(out)
+		fmt.Fprintln(out)
+	}
+	if has("table3") {
+		harness.Table3(out, cfg.Model)
+		fmt.Fprintln(out)
+	}
+
+	needRuns := has("fig3") || has("fig4") || has("fig5") || has("table4") ||
+		has("table5") || has("fig6") || has("fig7") || has("fig8") || has("summary")
+	ws := workloads.Responsive()
+	if *suite == "all" {
+		ws = workloads.All()
+	}
+
+	var results []*harness.BenchResult
+	if needRuns {
+		var err error
+		fmt.Fprintf(os.Stderr, "running %d benchmarks at scale %.2f...\n", len(ws), *scale)
+		results, err = harness.RunSuite(cfg, ws)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			if err := harness.InstrMixCheck(r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	for _, step := range []struct {
+		key string
+		run func()
+	}{
+		{"fig3", func() { harness.Fig3(out, results) }},
+		{"fig4", func() { harness.Fig4(out, results) }},
+		{"fig5", func() { harness.Fig5(out, results) }},
+		{"table4", func() { harness.Table4(out, results) }},
+		{"table5", func() { harness.Table5(out, results) }},
+		{"fig6", func() { harness.Fig6(out, results) }},
+		{"fig7", func() { harness.Fig7(out, results) }},
+		{"fig8", func() { harness.Fig8(out, results) }},
+		{"summary", func() { harness.Summary(out, results) }},
+	} {
+		if has(step.key) {
+			step.run()
+			fmt.Fprintln(out)
+		}
+	}
+
+	if has("table6") {
+		// The break-even sweep only makes sense for benchmarks with slices:
+		// the responsive set.
+		if err := harness.Table6(out, cfg, workloads.Responsive(), *maxR); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

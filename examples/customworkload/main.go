@@ -1,0 +1,108 @@
+// Customworkload shows how to bring your own kernel to the amnesic stack:
+// a tiny image-processing pipeline (gamma-ish tone curve derived per pixel,
+// then a blur pass that re-reads the tone-mapped image with poor locality),
+// with end-to-end verification against classic execution — including the
+// paper's dead-store elimination (§1) under the always-recompute policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+func buildPipeline(pixels int64) (*isaProgram, *mem.Memory) {
+	const baseTone = 0x0300_0000
+	b := asm.NewBuilder("tonemap+blur")
+	const (
+		rBase, rN, rI            = isa.Reg(1), isa.Reg(2), isa.Reg(4)
+		rG1, rG2, rT, rV         = isa.Reg(5), isa.Reg(6), isa.Reg(7), isa.Reg(8)
+		rOff, rAddr, rSh, rOne   = isa.Reg(9), isa.Reg(10), isa.Reg(11), isa.Reg(12)
+		rSum, rC, rStride, rMask = isa.Reg(13), isa.Reg(14), isa.Reg(15), isa.Reg(16)
+	)
+	b.Li(rBase, baseTone).Li(rN, pixels).Li(rG1, 229).Li(rG2, 53).Li(rSh, 3).Li(rOne, 1)
+	// Tone curve: tone[i] = (i*229 ^ 53) + i  — pure function of the pixel
+	// index, i.e. fully recomputable.
+	b.Li(rI, 0)
+	b.Label("tone")
+	b.Mul(rT, rI, rG1)
+	b.Xor(rT, rT, rG2)
+	b.Add(rV, rT, rI)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddr, rBase, rOff)
+	b.St(rAddr, 0, rV)
+	b.Add(rI, rI, rOne)
+	b.Blt(rI, rN, "tone")
+	// Blur-ish gather with a cache-hostile stride.
+	b.Li(rC, 0).Li(rSum, 0).Li(rStride, 12289).Li(rMask, pixels-1)
+	b.Label("blur")
+	b.Mul(rI, rC, rStride)
+	b.And(rI, rI, rMask)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddr, rBase, rOff)
+	b.Ld(rV, rAddr, 0)
+	b.Add(rSum, rSum, rV)
+	b.Add(rC, rC, rOne)
+	b.Blt(rC, rN, "blur")
+	b.Halt()
+	return b.MustAssemble(), mem.NewMemory()
+}
+
+type isaProgram = isa.Program
+
+func main() {
+	prog, initial := buildPipeline(1 << 18) // 2MB image
+
+	model := energy.Default()
+	prof, err := profile.Collect(model, prog, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	classic, err := cpu.RunProgram(model, prog, initial.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic:                  %12.0f nJ %12.0f ns (checksum %d)\n",
+		classic.Acct.EnergyNJ, classic.Acct.TimeNS, classic.Regs[13])
+
+	for _, dse := range []bool{false, true} {
+		opts := compiler.DefaultOptions()
+		opts.EliminateDeadStores = dse
+		ann, err := compiler.Compile(model, prog, prof, initial, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(policy.Compiler), uarch.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := machine.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if machine.Regs != classic.Regs {
+			log.Fatal("architectural state diverged")
+		}
+		label := "amnesic (Compiler)"
+		if dse {
+			label = "amnesic + dead-store elim"
+		}
+		fmt.Printf("%-25s %12.0f nJ %12.0f ns  EDP gain %+5.1f%%  slices=%d dead stores=%d\n",
+			label, machine.Acct.EnergyNJ, machine.Acct.TimeNS,
+			100*(1-machine.Acct.EDP()/classic.Acct.EDP()),
+			len(ann.Slices), ann.Stats.DeadStores)
+	}
+	fmt.Println("\nWith every load of the tone-mapped image recomputed, the stores that")
+	fmt.Println("produced it become redundant (§1) — dead-store elimination removes them")
+	fmt.Println("and shrinks both the store energy and the memory traffic.")
+}

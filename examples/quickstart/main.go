@@ -1,0 +1,110 @@
+// Quickstart: build a small program with the assembler, profile it, run the
+// amnesic compiler, and compare classic vs amnesic execution.
+//
+// The program derives t[i] = (i*37+11)*3+7 in a first loop and re-reads the
+// array with a cache-hostile stride in a second loop — the canonical
+// amnesic pattern: the re-reads would come from main memory, but the value
+// is a few arithmetic instructions away from the live index register.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+func main() {
+	const n = 150_000
+	const baseA = 0x400_0000
+
+	// 1. Build the program.
+	b := asm.NewBuilder("quickstart")
+	const (
+		rBase, rN, rI, rK, rM       = isa.Reg(1), isa.Reg(2), isa.Reg(4), isa.Reg(5), isa.Reg(6)
+		rT, rV, rOff, rAddr         = isa.Reg(7), isa.Reg(8), isa.Reg(9), isa.Reg(10)
+		rSh, rOne, rSum, rC, rP, rQ = isa.Reg(11), isa.Reg(12), isa.Reg(13), isa.Reg(14), isa.Reg(15), isa.Reg(16)
+	)
+	b.Li(rBase, baseA).Li(rN, n).Li(rK, 37).Li(rM, 3).Li(rSh, 3).Li(rOne, 1)
+	b.Li(rI, 0)
+	b.Label("produce")
+	b.Mul(rT, rI, rK)
+	b.Addi(rT, rT, 11)
+	b.Mul(rV, rT, rM)
+	b.Addi(rV, rV, 7)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddr, rBase, rOff)
+	b.St(rAddr, 0, rV)
+	b.Add(rI, rI, rOne)
+	b.Blt(rI, rN, "produce")
+
+	b.Li(rC, 0).Li(rSum, 0).Li(rP, 17).Li(rQ, 5)
+	b.Label("consume")
+	b.Mul(rI, rC, rP) // strided re-read: j = (17c+5) mod n, in the SAME
+	b.Add(rI, rI, rQ) // register the producer chain consumes
+	b.Rem(rI, rI, rN)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddr, rBase, rOff)
+	b.Ld(rV, rAddr, 0)
+	b.Add(rSum, rSum, rV)
+	b.Add(rC, rC, rOne)
+	b.Blt(rC, rN, "consume")
+	b.Halt()
+
+	prog, err := b.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Profile and compile.
+	model := energy.Default()
+	initial := mem.NewMemory()
+	prof, err := profile.Collect(model, prog, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d recomputation slice(s):\n", len(ann.Slices))
+	for _, si := range ann.Slices {
+		fmt.Printf("  load @%d: slice of %d instructions, Eld=%.2f nJ, Erc=%.2f nJ\n",
+			si.LoadPC, si.Slice.Len(), si.ExpectedEld, si.ExpectedErc)
+	}
+
+	// 3. Classic baseline.
+	classic, err := cpu.RunProgram(model, prog, initial.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic:       %12.0f nJ  %12.0f ns  (sum=%d)\n",
+		classic.Acct.EnergyNJ, classic.Acct.TimeNS, classic.Regs[rSum])
+
+	// 4. Amnesic execution under each policy.
+	for _, k := range policy.All() {
+		machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(k), uarch.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := machine.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if machine.Regs != classic.Regs {
+			log.Fatalf("%s: architectural state diverged!", k)
+		}
+		fmt.Printf("amnesic/%-9s %12.0f nJ  %12.0f ns  EDP gain %+5.1f%%  (recomputed %d/%d)\n",
+			k, machine.Acct.EnergyNJ, machine.Acct.TimeNS,
+			100*(1-machine.Acct.EDP()/classic.Acct.EDP()),
+			machine.Stat.RcmpRecomputed, machine.Stat.RcmpTotal)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/amnesiac-sim/amnesiac
+
+go 1.22

@@ -1,0 +1,384 @@
+// Package amnesic implements the amnesic machine: the runtime scheduler of
+// paper §3.3 executing compiler-annotated binaries. For every RCMP fetched
+// it resolves the fused branch under the configured policy — fire
+// recomputation along the slice, or perform the load — and traverses fired
+// slices through the SFile/Hist/IBuff microarchitecture of §3.2, leaving
+// architectural state untouched until the recomputed value is copied into
+// the eliminated load's destination register.
+package amnesic
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+// ErrPolicyDSE rejects unsafe policy/binary combinations: a binary with
+// dead stores eliminated is only architecturally correct when every RCMP
+// always recomputes (the Compiler policy).
+var ErrPolicyDSE = errors.New("amnesic: dead-store-eliminated binary requires the Compiler policy")
+
+// Stats collects amnesic-specific runtime statistics.
+type Stats struct {
+	// RcmpTotal counts dynamic RCMP instances; RcmpRecomputed of them fired
+	// recomputation, RcmpLoaded performed the load.
+	RcmpTotal, RcmpRecomputed, RcmpLoaded uint64
+	// SwappedServiced profiles, per hierarchy level, where the loads
+	// swapped at runtime (i.e. RCMPs that fired) would have been serviced —
+	// the paper's Table 5 per-policy profile.
+	SwappedServiced [energy.NumLevels]uint64
+	// RcmpLoadServiced profiles RCMP instances that performed the load.
+	RcmpLoadServiced [energy.NumLevels]uint64
+	// RecExecuted / RecFailed count REC instances; a failed REC (Hist
+	// overflow) permanently disables its slice (§3.5).
+	RecExecuted, RecFailed uint64
+	// SliceRecomputes counts recomputation firings per slice ID.
+	SliceRecomputes map[int]uint64
+	// SFileRejected counts RCMPs that had to load because the slice body
+	// exceeded SFile capacity.
+	SFileRejected uint64
+	// HistMaxUsed is the Hist high-water mark (§5.4 sizing).
+	HistMaxUsed int
+	// NOPsSkipped counts eliminated-store NOPs executed.
+	NOPsSkipped uint64
+}
+
+// Machine executes an annotated program under a policy.
+type Machine struct {
+	Model  *energy.Model
+	Hier   *mem.Hierarchy
+	Mem    *mem.Memory
+	Ann    *compiler.Annotated
+	Policy policy.Policy
+
+	SFile *uarch.SFile
+	Hist  *uarch.Hist
+	IBuff *uarch.IBuff
+
+	Regs [isa.NumRegs]uint64
+	PC   int
+	Acct energy.Account
+	Stat Stats
+
+	// MaxInstrs bounds the run; 0 means cpu.DefaultMaxInstrs.
+	MaxInstrs uint64
+
+	// DecisionModel, when non-nil, is the energy model policies consult to
+	// resolve RCMPs, while Model keeps doing the accounting. The Table 6
+	// break-even sweep (§5.5) uses this to freeze the C-Oracle's decision
+	// set at the default R while the accounted R grows.
+	DecisionModel *energy.Model
+
+	// ShadowTouch (default true, set by New) updates cache state — without
+	// charging energy or latency — when recomputation replaces a load, so
+	// the hierarchy evolves along the classic trajectory and policy probes
+	// see the service levels the paper's Table 5 reports. Disabling it
+	// exposes the temporal-locality degradation of recomputation the
+	// paper's §5 notes ("recomputation degraded temporal locality"):
+	// recomputed lines never warm the caches, so every later probe of the
+	// same line reads Mem. See BenchmarkAblationShadowTouch.
+	ShadowTouch bool
+
+	failedSlices map[int]bool
+	sliceVals    []uint64 // scratch per-traversal (SFile mirror for values)
+}
+
+// New builds a machine over fresh caches and the given memory image.
+func New(model *energy.Model, ann *compiler.Annotated, m *mem.Memory, pol policy.Policy, cfg uarch.Config) (*Machine, error) {
+	if ann.DeadStoreElim && pol.Kind() != policy.Compiler {
+		return nil, ErrPolicyDSE
+	}
+	return &Machine{
+		Model:  model,
+		Hier:   mem.NewDefaultHierarchy(),
+		Mem:    m,
+		Ann:    ann,
+		Policy: pol,
+		SFile:  uarch.NewSFile(cfg.SFileEntries),
+		Hist:   uarch.NewHist(cfg.HistEntries),
+		IBuff:  uarch.NewIBuff(cfg.IBuffEntries),
+		Stat:   Stats{SliceRecomputes: make(map[int]uint64)},
+
+		ShadowTouch:  true,
+		failedSlices: make(map[int]bool),
+	}, nil
+}
+
+// ReadReg returns a register value honoring the zero register.
+func (m *Machine) ReadReg(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// WriteReg writes a register, discarding R0 writes.
+func (m *Machine) WriteReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		m.Regs[r] = v
+	}
+}
+
+// Run executes the annotated program to HALT.
+func (m *Machine) Run() error {
+	p := m.Ann.Prog
+	max := m.MaxInstrs
+	if max == 0 {
+		max = cpu.DefaultMaxInstrs
+	}
+	m.PC = 0
+	for {
+		if m.PC < 0 || m.PC >= len(p.Code) {
+			return fmt.Errorf("amnesic: pc %d out of range (%q)", m.PC, p.Name)
+		}
+		if m.Acct.Instrs >= max {
+			return fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
+		}
+		in := p.Code[m.PC]
+		m.Acct.AddFetch(m.Model.FetchEnergy, m.Model.FetchLatency)
+		halt, err := m.step(in)
+		if err != nil {
+			return fmt.Errorf("amnesic: pc %d (%s): %w", m.PC, in, err)
+		}
+		if halt {
+			m.Stat.HistMaxUsed = m.Hist.MaxUsed
+			return nil
+		}
+	}
+}
+
+func (m *Machine) step(in isa.Instr) (halt bool, err error) {
+	switch {
+	case in.Op == isa.NOP:
+		m.Acct.AddInstr(m.Model, isa.CatNop)
+		if m.Ann.ElimNOPPCs[m.PC] {
+			m.Stat.NOPsSkipped++
+		}
+		m.PC++
+	case isa.Recomputable(in.Op):
+		v := isa.EvalCompute(in, m.ReadReg(in.Src1), m.ReadReg(in.Src2), m.ReadReg(in.Dst))
+		m.WriteReg(in.Dst, v)
+		m.Acct.AddInstr(m.Model, isa.CategoryOf(in.Op))
+		m.PC++
+	case in.Op == isa.LD:
+		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned load at %#x", addr)
+		}
+		res := m.Hier.Access(addr, false)
+		m.chargeWritebacks(res)
+		m.Acct.AddLoad(m.Model, res.Level)
+		m.WriteReg(in.Dst, m.Mem.Load(addr))
+		m.PC++
+	case in.Op == isa.ST:
+		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned store at %#x", addr)
+		}
+		res := m.Hier.Access(addr, true)
+		m.chargeWritebacks(res)
+		m.Acct.AddStore(m.Model, res.Level)
+		m.Mem.Store(addr, m.ReadReg(in.Src2))
+		m.PC++
+	case in.Op == isa.REC:
+		m.execREC(in)
+		m.PC++
+	case in.Op == isa.RCMP:
+		if err := m.execRCMP(in); err != nil {
+			return false, err
+		}
+		m.PC++
+	case in.Op == isa.HALT:
+		m.Acct.AddInstr(m.Model, isa.CatBranch)
+		return true, nil
+	case in.Op == isa.RTN:
+		// Slice bodies are traversed inline by execRCMP; control never
+		// falls into them.
+		return false, errors.New("stray RTN outside recomputation")
+	case isa.IsBranch(in.Op):
+		m.Acct.AddInstr(m.Model, isa.CatBranch)
+		if isa.BranchTaken(in.Op, m.ReadReg(in.Src1), m.ReadReg(in.Src2)) {
+			m.PC = int(in.Imm)
+		} else {
+			m.PC++
+		}
+	default:
+		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	return false, nil
+}
+
+// execREC checkpoints the masked registers into Hist (§3.3.2 step 0). Its
+// cost is modeled after a store to L1-D (§4). A capacity overflow fails the
+// REC and permanently disables the owning slice (§3.5).
+func (m *Machine) execREC(in isa.Instr) {
+	m.Acct.AddInstr(m.Model, isa.CatAmnesic)
+	m.Acct.AddHistWrite(m.Model)
+	m.Stat.RecExecuted++
+	spec, ok := m.Ann.RecSpecs[m.PC]
+	if !ok {
+		// Defensive: a REC with no spec records nothing.
+		return
+	}
+	var vals [3]uint64
+	for slot := 0; slot < 3; slot++ {
+		if spec.Mask&(1<<uint(slot)) != 0 {
+			vals[slot] = m.ReadReg(spec.Regs[slot])
+		}
+	}
+	if !m.Hist.Write(spec.HistID, vals, spec.Mask) {
+		m.Stat.RecFailed++
+		m.failedSlices[int(in.SliceID)] = true
+	}
+}
+
+// execRCMP resolves the fused branch-load (§3.3.2): consult the policy,
+// then either traverse the slice or perform the load.
+func (m *Machine) execRCMP(in isa.Instr) error {
+	m.Stat.RcmpTotal++
+
+	si := m.Ann.SliceByID(in.SliceID)
+	if si == nil {
+		return fmt.Errorf("RCMP references unknown slice %d", in.SliceID)
+	}
+	addr := m.ReadReg(in.Src1) + uint64(in.Imm)
+	if addr&7 != 0 {
+		return fmt.Errorf("misaligned RCMP load at %#x", addr)
+	}
+	level := m.Hier.Peek(addr)
+
+	dec := policy.Decision{Recompute: false}
+	if !m.failedSlices[si.ID] {
+		dm := m.DecisionModel
+		if dm == nil {
+			dm = m.Model
+		}
+		dec = m.Policy.Decide(policy.Ctx{Level: level, Slice: si, Model: dm})
+	}
+	if dec.Recompute && len(si.Body) <= m.SFile.Capacity() {
+		// The RCMP acts as a taken branch into the slice: one dynamic
+		// instruction of branch-like cost (§4).
+		m.Acct.AddInstr(m.Model, isa.CatAmnesic)
+		for _, l := range dec.ProbeLevels {
+			m.Acct.AddProbe(m.Model, l)
+		}
+		v, err := m.traverse(si)
+		if err == nil {
+			m.Stat.RcmpRecomputed++
+			m.Stat.SwappedServiced[level]++
+			m.Acct.Recomputed++
+			m.WriteReg(in.Dst, v)
+			if m.ShadowTouch {
+				m.Hier.Access(addr, false)
+			}
+			return nil
+		}
+		// A missing Hist entry (e.g. evicted or never recorded on this
+		// path) falls back to the load, like a failed REC would.
+	} else if dec.Recompute {
+		m.Stat.SFileRejected++
+	}
+
+	// Perform the load along the classic trajectory: one dynamic load
+	// instruction plus the RCMP's branch-resolution overhead. Under a
+	// dead-store-eliminated binary this fallback would read memory the
+	// eliminated stores never wrote — fail loudly instead of silently
+	// corrupting state.
+	if m.Ann.DeadStoreElim {
+		return fmt.Errorf("RCMP fallback load for slice %d under a dead-store-eliminated binary", si.ID)
+	}
+	m.Acct.AddOverhead(m.Model.InstrEnergy(isa.CatAmnesic), 0)
+	res := m.Hier.Access(addr, false)
+	m.chargeWritebacks(res)
+	m.Acct.AddLoad(m.Model, res.Level)
+	m.Acct.RcmpLoads++
+	m.Stat.RcmpLoaded++
+	m.Stat.RcmpLoadServiced[res.Level]++
+	m.WriteReg(in.Dst, m.Mem.Load(addr))
+	return nil
+}
+
+// traverse re-executes the slice body leaves-to-root (§3.3.2): operands come
+// from SFile (intermediate results), Hist (checkpointed inputs), or the
+// architectural register file (live values); results flow through SFile
+// only; the root value is returned for the RCMP to copy into the load's
+// destination register (RTN semantics). Instruction supply is charged via
+// IBuff/L1-I.
+func (m *Machine) traverse(si *compiler.SliceInfo) (uint64, error) {
+	if !m.SFile.Begin(len(si.Body)) {
+		return 0, errors.New("sfile overflow")
+	}
+	hits, misses := m.IBuff.Traverse(si.ID, len(si.Body)+1) // body + RTN
+	m.Acct.AddFetch(float64(hits)*m.Model.IBuffReadEnergy+float64(misses)*m.Model.FetchEnergy,
+		float64(hits)*m.Model.IBuffLatency+float64(misses)*m.Model.FetchLatency)
+
+	for idx := range si.Body {
+		bi := &si.Body[idx]
+		var ops [3]uint64
+		for slot := 0; slot < 3; slot++ {
+			src := bi.Srcs[slot]
+			switch src.Kind {
+			case compiler.SrcNone, compiler.SrcZero:
+				ops[slot] = 0
+			case compiler.SrcSFile:
+				v, ok := m.SFile.Read(src.BodyIdx)
+				if !ok {
+					return 0, fmt.Errorf("slice %d: SFile slot %d invalid", si.ID, src.BodyIdx)
+				}
+				ops[slot] = v
+			case compiler.SrcLive:
+				ops[slot] = m.ReadReg(src.Reg)
+			case compiler.SrcHist:
+				v, ok := m.Hist.Read(src.HistID, src.Slot)
+				m.Acct.AddHistRead(m.Model)
+				if !ok {
+					return 0, fmt.Errorf("slice %d: hist entry %d/%d missing", si.ID, src.HistID, src.Slot)
+				}
+				ops[slot] = v
+			}
+		}
+		var v uint64
+		if bi.In.Op == isa.LD {
+			if !bi.ReadOnlyLoad {
+				return 0, fmt.Errorf("slice %d: non-read-only load in body", si.ID)
+			}
+			addr := ops[0] + uint64(bi.In.Imm)
+			if addr&7 != 0 {
+				return 0, fmt.Errorf("slice %d: misaligned body load", si.ID)
+			}
+			res := m.Hier.Access(addr, false)
+			m.chargeWritebacks(res)
+			m.Acct.AddLoad(m.Model, res.Level)
+			v = m.Mem.Load(addr)
+		} else {
+			m.Acct.AddInstr(m.Model, isa.CategoryOf(bi.In.Op))
+			v = isa.EvalCompute(bi.In, ops[0], ops[1], ops[2])
+		}
+		m.Acct.SliceInstrs++
+		m.SFile.Write(idx, v)
+	}
+	// RTN: return + copy SFile root into the destination (§3.1.2).
+	m.Acct.AddInstr(m.Model, isa.CatAmnesic)
+	root, ok := m.SFile.Read(len(si.Body) - 1)
+	if !ok {
+		return 0, fmt.Errorf("slice %d: empty body", si.ID)
+	}
+	m.Stat.SliceRecomputes[si.ID]++
+	return root, nil
+}
+
+func (m *Machine) chargeWritebacks(res mem.AccessResult) {
+	for i := 0; i < res.WritebackL2; i++ {
+		m.Acct.AddWriteback(m.Model, energy.L2)
+	}
+	for i := 0; i < res.WritebackMem; i++ {
+		m.Acct.AddWriteback(m.Model, energy.Mem)
+	}
+}

@@ -1,0 +1,141 @@
+package amnesic_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestSFileOverflowFallsBackToLoad starves the SFile so every RCMP must
+// perform its load; execution stays correct and the rejection is counted.
+func TestSFileOverflowFallsBackToLoad(t *testing.T) {
+	model, ann, initial, _ := compileDerived(t, 40000, compiler.DefaultOptions())
+	classic, err := cpu.RunProgram(model, ann.Original, initial.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	cfg.SFileEntries = 1 // smaller than any multi-node slice body
+	machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(policy.Compiler), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if machine.Regs != classic.Regs {
+		t.Fatal("starved SFile broke architectural equivalence")
+	}
+	if machine.Stat.RcmpRecomputed != 0 {
+		t.Errorf("recomputed %d slices with a 1-entry SFile", machine.Stat.RcmpRecomputed)
+	}
+	if machine.Stat.SFileRejected == 0 {
+		t.Error("SFile rejections not counted")
+	}
+	if machine.Stat.RcmpLoaded != machine.Stat.RcmpTotal {
+		t.Error("not every RCMP fell back to the load")
+	}
+}
+
+// TestStrayRTNRejected: control flow may never fall into a slice body.
+func TestStrayRTNRejected(t *testing.T) {
+	model, ann, initial, _ := compileDerived(t, 20000, compiler.DefaultOptions())
+	// Corrupt the binary: jump straight to a slice body's RTN.
+	bad := ann.Prog.Clone()
+	rtn := -1
+	for pc, in := range bad.Code {
+		if in.Op == isa.RTN {
+			rtn = pc
+			break
+		}
+	}
+	if rtn < 0 {
+		t.Fatal("no RTN in annotated binary")
+	}
+	bad.Code[0] = isa.Instr{Op: isa.JMP, Imm: int64(rtn)}
+	corrupt := *ann
+	corrupt.Prog = bad
+	machine, err := amnesic.New(model, &corrupt, initial.Clone(), policy.New(policy.Compiler), uarch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run()
+	if err == nil || !strings.Contains(err.Error(), "RTN") {
+		t.Errorf("stray RTN not rejected: %v", err)
+	}
+}
+
+// TestUnknownSliceIDRejected guards the RCMP -> slice side table.
+func TestUnknownSliceIDRejected(t *testing.T) {
+	model, ann, initial, _ := compileDerived(t, 20000, compiler.DefaultOptions())
+	bad := ann.Prog.Clone()
+	for pc, in := range bad.Code {
+		if in.Op == isa.RCMP {
+			bad.Code[pc].SliceID = 999
+			break
+		}
+	}
+	corrupt := *ann
+	corrupt.Prog = bad
+	machine, err := amnesic.New(model, &corrupt, initial.Clone(), policy.New(policy.Compiler), uarch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.Run(); err == nil {
+		t.Error("unknown slice ID accepted")
+	}
+}
+
+// TestShadowTouchPreventsOverfiring: on a hot-window workload (sr), the
+// classic-trajectory cache model keeps recomputed lines warm so FLC fires
+// only on genuine misses; with it disabled, recomputed lines never refresh
+// the window and FLC fires on nearly every RCMP — the §5 temporal-locality
+// degradation.
+func TestShadowTouchPreventsOverfiring(t *testing.T) {
+	w, err := workloads.Get("sr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := energy.Default()
+	prog, initial := w.Build(0.25)
+	prof, err := profile.Collect(model, prog, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ann.Slices) == 0 {
+		t.Fatalf("sr compiled no slices: %+v", ann.Stats)
+	}
+	run := func(shadow bool) amnesic.Stats {
+		machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(policy.FLC), uarch.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine.ShadowTouch = shadow
+		if err := machine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return machine.Stat
+	}
+	with := run(true)
+	without := run(false)
+	if with.RcmpRecomputed == 0 {
+		t.Fatal("FLC never fired with shadow touch")
+	}
+	if without.RcmpRecomputed < 4*with.RcmpRecomputed {
+		t.Errorf("expected heavy overfiring without shadow touch: with=%d without=%d",
+			with.RcmpRecomputed, without.RcmpRecomputed)
+	}
+}

@@ -1,0 +1,185 @@
+package amnesic_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+// derivedArrayProgram builds the canonical amnesic pattern: phase A derives
+// a[i] = (i*37 + 11)*3 + 7 from the loop index; phase B re-reads a[i] after
+// it has been evicted from the caches. The a[i] loads in phase B are prime
+// recomputation targets: their slice rebuilds the value from the live index
+// register at a fraction of an off-chip access's energy.
+func derivedArrayProgram(t testing.TB, n int) (*isa.Program, *mem.Memory, uint64) {
+	t.Helper()
+	const baseA = 0x4000000
+	b := asm.NewBuilder("derived-array")
+	const (
+		rBaseA = isa.Reg(2)
+		rN     = isa.Reg(3)
+		rI     = isa.Reg(4)
+		rMul   = isa.Reg(5)
+		rOff   = isa.Reg(6)
+		rSh    = isa.Reg(7)
+		rK     = isa.Reg(8)
+		rB     = isa.Reg(9)
+		rT     = isa.Reg(10)
+		rV     = isa.Reg(11)
+		rAddrA = isa.Reg(12)
+		rSum   = isa.Reg(13)
+		rL     = isa.Reg(14)
+		rOne   = isa.Reg(15)
+	)
+	b.Li(rBaseA, baseA).Li(rN, int64(n)).Li(rMul, 3).Li(rSh, 3).Li(rOne, 1).Li(rK, 37)
+	b.Li(rI, 0)
+	b.Label("loopA")
+	b.Mul(rB, rI, rK)
+	b.Addi(rB, rB, 11)
+	b.Mul(rT, rB, rMul)
+	b.Addi(rV, rT, 7)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddrA, rBaseA, rOff)
+	b.St(rAddrA, 0, rV) // a[i]
+	b.Add(rI, rI, rOne)
+	b.Blt(rI, rN, "loopA")
+
+	// Phase B walks a with a large prime stride (every access on a fresh
+	// cache line), materializing the permuted index j = (c*17+5) mod n in
+	// rI — the same architectural register the producer slice consumes, so
+	// the live-register binding recomputes a[j] correctly.
+	const (
+		rC = isa.Reg(16)
+		rP = isa.Reg(17)
+		rQ = isa.Reg(18)
+	)
+	b.Li(rC, 0).Li(rSum, 0).Li(rP, 17).Li(rQ, 5)
+	b.Label("loopB")
+	b.Mul(rI, rC, rP)
+	b.Add(rI, rI, rQ)
+	b.Rem(rI, rI, rN)
+	b.Shl(rOff, rI, rSh)
+	b.Add(rAddrA, rBaseA, rOff)
+	b.Ld(rL, rAddrA, 0) // a[j]: the recomputation target
+	b.Add(rSum, rSum, rL)
+	b.Add(rC, rC, rOne)
+	b.Blt(rC, rN, "loopB")
+	b.Halt()
+
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var want uint64
+	for c := 0; c < n; c++ {
+		j := (c*17 + 5) % n
+		want += uint64(j*37+11)*3 + 7
+	}
+	return prog, mem.NewMemory(), want
+}
+
+func compileDerived(t testing.TB, n int, opts compiler.Options) (*energy.Model, *compiler.Annotated, *mem.Memory, uint64) {
+	t.Helper()
+	model := energy.Default()
+	prog, initial, want := derivedArrayProgram(t, n)
+	prof, err := profile.Collect(model, prog, initial)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	ann, err := compiler.Compile(model, prog, prof, initial, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return model, ann, initial, want
+}
+
+func TestCompilerSwapsDerivedArrayLoad(t *testing.T) {
+	_, ann, _, _ := compileDerived(t, 40000, compiler.DefaultOptions())
+	if len(ann.Slices) == 0 {
+		t.Fatalf("no slices selected; stats %+v", ann.Stats)
+	}
+	// The phase-B load of a[i] must be among the swapped loads.
+	found := false
+	for _, si := range ann.Slices {
+		if ann.Original.Code[si.LoadPC].Op != isa.LD {
+			t.Errorf("slice %d: swapped PC %d is not a load", si.ID, si.LoadPC)
+		}
+		if si.Slice.Len() >= 3 {
+			found = true
+		}
+		if si.ExpectedErc >= si.ExpectedEld {
+			t.Errorf("slice %d selected but Erc %.2f >= Eld %.2f", si.ID, si.ExpectedErc, si.ExpectedEld)
+		}
+	}
+	if !found {
+		t.Errorf("expected at least one multi-node slice, got %d slices", len(ann.Slices))
+	}
+}
+
+func runAmnesic(t testing.TB, model *energy.Model, ann *compiler.Annotated, initial *mem.Memory, k policy.Kind) *amnesic.Machine {
+	t.Helper()
+	machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(k), uarch.DefaultConfig())
+	if err != nil {
+		t.Fatalf("machine(%s): %v", k, err)
+	}
+	if err := machine.Run(); err != nil {
+		t.Fatalf("amnesic run (%s): %v", k, err)
+	}
+	return machine
+}
+
+func TestAmnesicMatchesClassicAllPolicies(t *testing.T) {
+	model, ann, initial, want := compileDerived(t, 40000, compiler.DefaultOptions())
+
+	classic, err := cpu.RunProgram(model, ann.Original, initial.Clone())
+	if err != nil {
+		t.Fatalf("classic: %v", err)
+	}
+	if got := classic.Regs[13]; got != want {
+		t.Fatalf("classic sum = %d, want %d", got, want)
+	}
+
+	for _, k := range policy.All() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			machine := runAmnesic(t, model, ann, initial, k)
+			if machine.Regs != classic.Regs {
+				t.Fatalf("final registers diverge from classic execution")
+			}
+			if machine.Stat.RcmpTotal == 0 {
+				t.Fatalf("no RCMP executed")
+			}
+			t.Logf("%s: rcmp=%d recomputed=%d loaded=%d energy=%.0f nJ (classic %.0f) time=%.0f ns (classic %.0f)",
+				k, machine.Stat.RcmpTotal, machine.Stat.RcmpRecomputed, machine.Stat.RcmpLoaded,
+				machine.Acct.EnergyNJ, classic.Acct.EnergyNJ, machine.Acct.TimeNS, classic.Acct.TimeNS)
+		})
+	}
+}
+
+func TestAmnesicImprovesEDPOnMemBoundPattern(t *testing.T) {
+	model, ann, initial, _ := compileDerived(t, 200000, compiler.DefaultOptions())
+	classic, err := cpu.RunProgram(model, ann.Original, initial.Clone())
+	if err != nil {
+		t.Fatalf("classic: %v", err)
+	}
+	for _, k := range []policy.Kind{policy.Compiler, policy.FLC, policy.Exact} {
+		machine := runAmnesic(t, model, ann, initial, k)
+		if machine.Stat.RcmpRecomputed == 0 {
+			t.Fatalf("%s: nothing recomputed", k)
+		}
+		edpGain := 1 - machine.Acct.EDP()/classic.Acct.EDP()
+		t.Logf("%s: EDP gain %.1f%%", k, 100*edpGain)
+		if edpGain <= 0 {
+			t.Errorf("%s: expected EDP gain on mem-bound derived-array pattern, got %.2f%%", k, 100*edpGain)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+func TestBuilderForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 3)
+	b.Label("top")
+	b.Addi(1, 1, -1)
+	b.Beq(1, isa.R0, "done") // forward reference
+	b.Jmp("top")             // backward reference
+	b.Label("done")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[2].Imm != 4 {
+		t.Errorf("forward branch resolved to %d, want 4", p.Code[2].Imm)
+	}
+	if p.Code[3].Imm != 1 {
+		t.Errorf("backward jump resolved to %d, want 1", p.Code[3].Imm)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate label: err=%v", err)
+	}
+
+	b2 := NewBuilder("undef")
+	b2.Jmp("nowhere")
+	if _, err := b2.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined label: err=%v", err)
+	}
+}
+
+func TestParseGolden(t *testing.T) {
+	src := `
+; demo program
+    li   r1, 10
+    lf   r2, 1.5
+start:
+    addi r1, r1, -1
+    add  r3, r3, r1
+    ld   r4, 8(r3)
+    st   r4, 0(r3)
+    bne  r1, r0, start
+    jmp  end
+end:
+    halt
+`
+	p, err := Parse("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.LI, isa.LI, isa.ADDI, isa.ADD, isa.LD, isa.ST, isa.BNE, isa.JMP, isa.HALT}
+	if len(p.Code) != len(want) {
+		t.Fatalf("parsed %d instrs, want %d", len(p.Code), len(want))
+	}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Errorf("instr %d = %s, want %s", i, p.Code[i].Op, op)
+		}
+	}
+	if p.Code[4].Imm != 8 || p.Code[4].Src1 != 3 || p.Code[4].Dst != 4 {
+		t.Errorf("ld parsed wrong: %+v", p.Code[4])
+	}
+	if p.Code[6].Imm != 2 {
+		t.Errorf("bne target = %d, want 2", p.Code[6].Imm)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"li r99, 3",
+		"ld r1, r2",       // missing mem operand syntax
+		"add r1, r2",      // operand count
+		"beq r1, r2, ???", // undefined label is an assemble error
+		"li r1",           // operand count
+		"lf r1, notafloat",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestFormatRoundTrips(t *testing.T) {
+	b := NewBuilder("round")
+	b.Li(1, 5).Mul(2, 1, 1).St(2, 0, 1).Ld(3, 2, 0).Halt()
+	p := b.MustAssemble()
+	text := Format(p)
+	for _, wantSub := range []string{"li r1, 5", "mul r2, r1, r1", "st r1, 0(r2)", "ld r3, 0(r2)", "halt"} {
+		if !strings.Contains(text, wantSub) {
+			t.Errorf("Format output missing %q:\n%s", wantSub, text)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad program")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("missing")
+	b.MustAssemble()
+}

@@ -1,0 +1,331 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// Parse assembles a textual program. The syntax is line oriented:
+//
+//	; comment (also #)
+//	label:
+//	    li   r1, 42
+//	    lf   r2, 3.5        ; float64 immediate
+//	    add  r3, r1, r1
+//	    ld   r4, 8(r3)
+//	    st   r4, 0(r3)
+//	    beq  r1, r0, done
+//	done:
+//	    halt
+//
+// Branch operands name labels; memory operands use off(base) form.
+// The amnesic opcodes (rcmp/rtn/rec) are not expressible in text form: they
+// are inserted only by the amnesic compiler.
+func Parse(name, src string) (*isa.Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Assemble()
+}
+
+func parseLine(b *Builder, line string) error {
+	if strings.HasSuffix(line, ":") {
+		label := strings.TrimSuffix(line, ":")
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return fmt.Errorf("bad label %q", label)
+		}
+		b.Label(label)
+		return nil
+	}
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	ops := splitOperands(rest)
+	switch strings.ToLower(mnemonic) {
+	case "nop":
+		return expect(ops, 0, func() { b.Nop() })
+	case "halt":
+		return expect(ops, 0, func() { b.Halt() })
+	case "li":
+		return withRegImm(ops, func(r isa.Reg, v int64) { b.Li(r, v) })
+	case "lf":
+		if len(ops) != 2 {
+			return fmt.Errorf("lf wants 2 operands, got %d", len(ops))
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q", ops[1])
+		}
+		b.Lf(r, f)
+		return nil
+	case "mov":
+		return withRR(ops, func(d, s isa.Reg) { b.Mov(d, s) })
+	case "fneg":
+		return withRR(ops, func(d, s isa.Reg) { b.Fneg(d, s) })
+	case "fsqrt":
+		return withRR(ops, func(d, s isa.Reg) { b.Fsqrt(d, s) })
+	case "fabs":
+		return withRR(ops, func(d, s isa.Reg) { b.Fabs(d, s) })
+	case "i2f":
+		return withRR(ops, func(d, s isa.Reg) { b.I2f(d, s) })
+	case "f2i":
+		return withRR(ops, func(d, s isa.Reg) { b.F2i(d, s) })
+	case "addi":
+		if len(ops) != 3 {
+			return fmt.Errorf("addi wants 3 operands, got %d", len(ops))
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(ops[2], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", ops[2])
+		}
+		b.Addi(d, s, v)
+		return nil
+	case "add":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Add(d, s1, s2) })
+	case "sub":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Sub(d, s1, s2) })
+	case "mul":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Mul(d, s1, s2) })
+	case "div":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Div(d, s1, s2) })
+	case "rem":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Rem(d, s1, s2) })
+	case "and":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.And(d, s1, s2) })
+	case "or":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Or(d, s1, s2) })
+	case "xor":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Xor(d, s1, s2) })
+	case "shl":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Shl(d, s1, s2) })
+	case "shr":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Shr(d, s1, s2) })
+	case "slt":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Slt(d, s1, s2) })
+	case "seq":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Seq(d, s1, s2) })
+	case "fadd":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fadd(d, s1, s2) })
+	case "fsub":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fsub(d, s1, s2) })
+	case "fmul":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fmul(d, s1, s2) })
+	case "fdiv":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fdiv(d, s1, s2) })
+	case "fma":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fma(d, s1, s2) })
+	case "fmin":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fmin(d, s1, s2) })
+	case "fmax":
+		return withRRR(ops, func(d, s1, s2 isa.Reg) { b.Fmax(d, s1, s2) })
+	case "ld":
+		if len(ops) != 2 {
+			return fmt.Errorf("ld wants 2 operands, got %d", len(ops))
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Ld(d, base, off)
+		return nil
+	case "st":
+		if len(ops) != 2 {
+			return fmt.Errorf("st wants 2 operands, got %d", len(ops))
+		}
+		v, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.St(base, off, v)
+		return nil
+	case "beq", "bne", "blt", "bge":
+		if len(ops) != 3 {
+			return fmt.Errorf("%s wants 3 operands, got %d", mnemonic, len(ops))
+		}
+		s1, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		s2, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(mnemonic) {
+		case "beq":
+			b.Beq(s1, s2, ops[2])
+		case "bne":
+			b.Bne(s1, s2, ops[2])
+		case "blt":
+			b.Blt(s1, s2, ops[2])
+		case "bge":
+			b.Bge(s1, s2, ops[2])
+		}
+		return nil
+	case "jmp":
+		if len(ops) != 1 {
+			return fmt.Errorf("jmp wants 1 operand, got %d", len(ops))
+		}
+		b.Jmp(ops[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func expect(ops []string, n int, f func()) error {
+	if len(ops) != n {
+		return fmt.Errorf("want %d operands, got %d", n, len(ops))
+	}
+	f()
+	return nil
+}
+
+func withRegImm(ops []string, f func(isa.Reg, int64)) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("want 2 operands, got %d", len(ops))
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseInt(ops[1], 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad immediate %q", ops[1])
+	}
+	f(r, v)
+	return nil
+}
+
+func withRR(ops []string, f func(d, s isa.Reg)) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("want 2 operands, got %d", len(ops))
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	s, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	f(d, s)
+	return nil
+}
+
+func withRRR(ops []string, f func(d, s1, s2 isa.Reg)) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("want 3 operands, got %d", len(ops))
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	s1, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	s2, err := parseReg(ops[2])
+	if err != nil {
+		return err
+	}
+	f(d, s1, s2)
+	return nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseMem parses "off(base)" memory operands, e.g. "8(r3)" or "(r3)".
+func parseMem(s string) (off int64, base isa.Reg, err error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close != len(s)-1 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if open > 0 {
+		off, err = strconv.ParseInt(s[:open], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err = parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// Format renders a program as parseable assembly text (amnesic opcodes are
+// rendered as comments since they have no text syntax).
+func Format(p *isa.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %s (%d instructions)\n", p.Name, len(p.Code))
+	for pc, in := range p.Code {
+		switch in.Op {
+		case isa.RCMP, isa.RTN, isa.REC:
+			fmt.Fprintf(&sb, "%4d:  ; %s\n", pc, in)
+		default:
+			fmt.Fprintf(&sb, "%4d:  %s\n", pc, in)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,290 @@
+// Package compiler implements the amnesic compiler pass of paper §3.1: it
+// consumes a classic program plus its dynamic profile, builds a
+// recomputation slice (RSlice) for every load where one exists, grows each
+// slice level by level under the probabilistic load-energy budget, validates
+// the slices empirically against a second profiling run (the stand-in for
+// the paper's profile-guided binary generator), and emits an annotated
+// binary in which selected loads become RCMP instructions, slice bodies are
+// appended (each terminated by RTN), and REC instructions checkpoint
+// non-recomputable leaf inputs into Hist.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/rslice"
+)
+
+// Mode selects which slices the compiler bakes into the binary.
+type Mode uint8
+
+const (
+	// ModeProbabilistic swaps a load only when the probabilistic energy
+	// model predicts recomputation wins: Erc < Eld (§3.1.1). This produces
+	// the slice set S used by the Compiler, FLC, LLC and C-Oracle policies.
+	ModeProbabilistic Mode = iota
+	// ModeOracleAll keeps every *valid* slice regardless of predicted
+	// profit, leaving the decision entirely to the runtime. This produces
+	// the slice set the Oracle policy picks from (§5.1).
+	ModeOracleAll
+)
+
+func (m Mode) String() string {
+	if m == ModeOracleAll {
+		return "oracle-all"
+	}
+	return "probabilistic"
+}
+
+// Options tunes the pass. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	Mode Mode
+	// MaxSliceLen caps recomputing instructions per slice (§3.4 notes the
+	// compiler caps growth; §5.4 finds >50-instruction slices negligible).
+	MaxSliceLen int
+	// MaxHeight caps the tree height h (§3.4).
+	MaxHeight int
+	// Stability is the minimum share a dominant producer must hold over
+	// the dynamic instances of an operand for the compiler to rely on it.
+	Stability float64
+	// MinLoadCount skips loads executed fewer times (noise).
+	MinLoadCount uint64
+	// EliminateDeadStores drops stores whose every consuming load was
+	// swapped (§1). Only sound under the always-recompute Compiler policy;
+	// the amnesic machine enforces that.
+	EliminateDeadStores bool
+	// BudgetSlack scales the Eld budget during slice growth: growth may
+	// continue while Erc < BudgetSlack×Eld. 1.0 reproduces the paper.
+	BudgetSlack float64
+}
+
+// DefaultOptions returns the configuration used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Mode:         ModeProbabilistic,
+		MaxSliceLen:  80,
+		MaxHeight:    48,
+		Stability:    0.9999,
+		MinLoadCount: 1,
+		BudgetSlack:  1.0,
+	}
+}
+
+// SrcKind says where a slice-body operand's value comes from at runtime.
+type SrcKind uint8
+
+const (
+	// SrcZero is the hardwired zero register.
+	SrcZero SrcKind = iota
+	// SrcSFile reads the SFile entry written by an earlier body instruction.
+	SrcSFile
+	// SrcLive reads the architectural register file.
+	SrcLive
+	// SrcHist reads a slot of a Hist entry.
+	SrcHist
+	// SrcNone marks an unused operand slot.
+	SrcNone
+)
+
+func (k SrcKind) String() string {
+	switch k {
+	case SrcZero:
+		return "zero"
+	case SrcSFile:
+		return "sfile"
+	case SrcLive:
+		return "live"
+	case SrcHist:
+		return "hist"
+	}
+	return "none"
+}
+
+// OperandSource resolves one operand of a slice-body instruction.
+type OperandSource struct {
+	Kind    SrcKind
+	BodyIdx int     // SrcSFile: producing body instruction index
+	Reg     isa.Reg // SrcLive: architectural register
+	HistID  int     // SrcHist: Hist entry
+	Slot    int     // SrcHist: slot within the entry (operand index)
+}
+
+// BodyInstr is one recomputing instruction plus its operand routing — the
+// compile-time equivalent of what the hardware Renamer resolves (§3.2).
+type BodyInstr struct {
+	In   isa.Instr
+	Node *rslice.Node
+	// Srcs routes operand 0..2 (Src1, Src2, Dst-as-input).
+	Srcs [3]OperandSource
+	// ReadOnlyLoad marks body loads of read-only program inputs; these
+	// perform a real, energy-charged memory access at runtime.
+	ReadOnlyLoad bool
+}
+
+// RecSpec describes what one REC instruction checkpoints: up to three
+// register values into the slots of one Hist entry.
+type RecSpec struct {
+	HistID int
+	// Regs[slot] is the register captured into that slot; Mask selects the
+	// populated slots.
+	Regs [3]isa.Reg
+	Mask uint8
+}
+
+// SliceInfo is one compiled slice with everything the runtime needs.
+type SliceInfo struct {
+	ID      int
+	Slice   *rslice.Slice
+	LoadPC  int // original program PC of the swapped load
+	RcmpPC  int // annotated program PC of the RCMP
+	EntryPC int // annotated program PC of the first body instruction
+	Body    []BodyInstr
+	// HistEntries is the number of Hist entries (leaf checkpoints) the
+	// slice consumes; HistBase is its first global Hist ID.
+	HistBase    int
+	HistEntries int
+	// ExpectedEld / ExpectedErc are the compile-time probabilistic energy
+	// estimates used for the swap decision.
+	ExpectedEld float64
+	ExpectedErc float64
+	// Selected reports whether the probabilistic model predicted a win
+	// (always true in ModeProbabilistic output; in ModeOracleAll the
+	// runtime may consult it).
+	Selected bool
+}
+
+// Stats summarizes a compilation for the paper's figures.
+type Stats struct {
+	LoadsSeen          int // static loads with profile data
+	SlicesBuilt        int // slices surviving validation
+	SlicesSelected     int // slices baked into the binary
+	RejectedNoProducer int
+	RejectedUnstable   int
+	RejectedInvalid    int // failed empirical validation
+	RejectedCost       int // Erc >= Eld (probabilistic)
+	DeadStores         int // stores eliminated
+	HistEntriesTotal   int
+	// RejectedDetail maps load PC -> why validation rejected its slice.
+	RejectedDetail map[int]string
+}
+
+// Annotated is the output binary plus all side tables.
+type Annotated struct {
+	Original *isa.Program
+	Prog     *isa.Program
+	Slices   []*SliceInfo
+	// RecSpecs maps annotated REC PC -> what it checkpoints.
+	RecSpecs map[int]RecSpec
+	// PCMap maps original PC -> annotated PC of the same instruction.
+	PCMap []int
+	// EliminatedStores holds original store PCs replaced by NOPs.
+	EliminatedStores map[int]bool
+	// ElimNOPPCs holds the annotated PCs of those NOPs.
+	ElimNOPPCs map[int]bool
+	// DeadStoreElim records whether dead-store elimination ran (restricts
+	// the runtime to the always-recompute policy).
+	DeadStoreElim bool
+	Stats         Stats
+}
+
+// SliceByID returns the slice with the given ID, or nil.
+func (a *Annotated) SliceByID(id int32) *SliceInfo {
+	if id < 0 || int(id) >= len(a.Slices) {
+		return nil
+	}
+	return a.Slices[id]
+}
+
+// SwappedLoadPCs returns the original PCs of loads swapped for RCMP.
+func (a *Annotated) SwappedLoadPCs() []int {
+	pcs := make([]int, 0, len(a.Slices))
+	for _, s := range a.Slices {
+		pcs = append(pcs, s.LoadPC)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// Compile runs the full pass: build → validate → select → emit.
+// The initial memory is used (via clones) for the validation re-run.
+func Compile(model *energy.Model, prog *isa.Program, prof *profile.Profile, initial *mem.Memory, opts Options) (*Annotated, error) {
+	if opts.MaxSliceLen <= 0 || opts.MaxHeight <= 0 {
+		return nil, fmt.Errorf("compiler: non-positive slice caps %+v", opts)
+	}
+	if opts.BudgetSlack <= 0 {
+		opts.BudgetSlack = 1.0
+	}
+	b := &builder{model: model, prog: prog, prof: prof, opts: opts}
+
+	var stats Stats
+	var candidates []*rslice.Slice
+	for _, pc := range prof.SortedLoadPCs() {
+		li := prof.Loads[pc]
+		stats.LoadsSeen++
+		if li.Count < opts.MinLoadCount {
+			continue
+		}
+		sl, reason := b.build(pc)
+		switch reason {
+		case rejectNone:
+			candidates = append(candidates, sl)
+		case rejectNoProducer:
+			stats.RejectedNoProducer++
+		case rejectUnstable:
+			stats.RejectedUnstable++
+		}
+	}
+
+	// Feeder map: for each candidate load, the static stores whose values
+	// it consumed (inverted from the profile's store->loads relation).
+	feeders := make(map[int]map[int]bool)
+	for st, loads := range prof.StoresConsumedBy {
+		for ld := range loads {
+			m := feeders[ld]
+			if m == nil {
+				m = make(map[int]bool)
+				feeders[ld] = m
+			}
+			m[st] = true
+		}
+	}
+	stats.RejectedDetail = make(map[int]string)
+	valid, err := validateWithProfileStores(model, prog, initial, candidates, feeders, stats.RejectedDetail)
+	if err != nil {
+		return nil, err
+	}
+	stats.RejectedInvalid = len(candidates) - len(valid)
+	stats.SlicesBuilt = len(valid)
+
+	// Selection: final Erc uses post-validation input kinds (live inputs
+	// no longer pay Hist reads).
+	var selected []*rslice.Slice
+	for _, sl := range valid {
+		eld := prof.Loads[sl.LoadPC].ExpectedLoadEnergy(model)
+		erc := b.sliceCost(sl)
+		if opts.Mode == ModeOracleAll || erc < eld {
+			selected = append(selected, sl)
+		} else {
+			stats.RejectedCost++
+		}
+	}
+	stats.SlicesSelected = len(selected)
+
+	ann := emit(model, prog, prof, selected, opts, b)
+	ann.Stats = stats
+	ann.Stats.SlicesSelected = len(ann.Slices)
+	ann.Stats.DeadStores = len(ann.EliminatedStores)
+	for _, s := range ann.Slices {
+		ann.Stats.HistEntriesTotal += s.HistEntries
+	}
+	if err := ann.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: emitted invalid program: %w", err)
+	}
+	return ann, nil
+}

@@ -1,0 +1,208 @@
+// Package cpu implements the classic (non-amnesic) in-order core: the
+// baseline execution model every amnesic policy is compared against. The
+// core executes an isa.Program over a mem.Hierarchy + mem.Memory, charging
+// energy and time through an energy.Account, and exposes a per-instruction
+// hook used by the profiler.
+//
+// Timing model (paper §4): one cycle per non-memory instruction at the
+// Table 3 frequency; loads stall for the round-trip latency of the level
+// that services them; stores retire at L1-D speed (write-back hierarchy).
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+// DefaultMaxInstrs bounds dynamic instruction count to guard against
+// non-terminating programs.
+const DefaultMaxInstrs = 200_000_000
+
+// ErrInstrBudget is returned when execution exceeds MaxInstrs.
+var ErrInstrBudget = errors.New("cpu: dynamic instruction budget exceeded")
+
+// Event describes one retired instruction, delivered to the Hook.
+type Event struct {
+	PC    int
+	In    isa.Instr
+	Addr  uint64       // effective address (LD/ST only)
+	Value uint64       // value loaded or stored (LD/ST only)
+	Level energy.Level // servicing level (LD/ST only)
+	// SrcVals holds the pre-execution operand values: Src1, Src2, and the
+	// old Dst (the FMA accumulator input). Valid for compute, load (Src1 =
+	// address base) and store (Src1 = base, Src2 = value) instructions.
+	SrcVals [3]uint64
+}
+
+// Core is the classic in-order core. Construct with New, then Run.
+type Core struct {
+	Model *energy.Model
+	Hier  *mem.Hierarchy
+	Mem   *mem.Memory
+	Regs  [isa.NumRegs]uint64
+	PC    int
+	Acct  energy.Account
+
+	// MaxInstrs bounds the run; 0 means DefaultMaxInstrs.
+	MaxInstrs uint64
+	// Hook, if non-nil, observes every retired instruction. The profiler
+	// installs one; plain runs leave it nil for speed.
+	Hook func(Event)
+	// ChargeFetch adds per-instruction L1-I fetch energy when true. The
+	// paper's Table 4 breakdown separates loads/stores/non-mem; fetch is
+	// charged so classic and amnesic executions are comparable.
+	ChargeFetch bool
+}
+
+// New returns a core over fresh state with the given model and hierarchy.
+func New(model *energy.Model, hier *mem.Hierarchy, m *mem.Memory) *Core {
+	return &Core{Model: model, Hier: hier, Mem: m, ChargeFetch: true}
+}
+
+// ReadReg returns the register value, honoring the hardwired zero register.
+func (c *Core) ReadReg(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// WriteReg writes a register, discarding writes to R0.
+func (c *Core) WriteReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.Regs[r] = v
+	}
+}
+
+// Run executes the program from PC 0 until HALT. It returns an error for
+// malformed programs, amnesic opcodes (which only the amnesic machine
+// executes), misaligned accesses, or budget exhaustion.
+func (c *Core) Run(p *isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("cpu: %w", err)
+	}
+	max := c.MaxInstrs
+	if max == 0 {
+		max = DefaultMaxInstrs
+	}
+	c.PC = 0
+	for {
+		if c.PC < 0 || c.PC >= len(p.Code) {
+			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", c.PC, p.Name, len(p.Code))
+		}
+		if c.Acct.Instrs >= max {
+			return fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+		}
+		in := p.Code[c.PC]
+		if c.ChargeFetch {
+			c.Acct.AddFetch(c.Model.FetchEnergy, c.Model.FetchLatency)
+		}
+		halt, err := c.Step(in)
+		if err != nil {
+			return fmt.Errorf("cpu: pc %d (%s): %w", c.PC, in, err)
+		}
+		if halt {
+			return nil
+		}
+	}
+}
+
+// Step executes one instruction at the current PC, advancing PC. It returns
+// halt=true on HALT. Step does not charge fetch energy; Run does.
+func (c *Core) Step(in isa.Instr) (halt bool, err error) {
+	pc := c.PC
+	var srcs [3]uint64
+	if c.Hook != nil {
+		srcs = [3]uint64{c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst)}
+	}
+	switch {
+	case in.Op == isa.NOP:
+		c.Acct.AddInstr(c.Model, isa.CatNop)
+		c.PC++
+	case isa.Recomputable(in.Op):
+		v := isa.EvalCompute(in, c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst))
+		c.WriteReg(in.Dst, v)
+		c.Acct.AddInstr(c.Model, isa.CategoryOf(in.Op))
+		c.PC++
+	case in.Op == isa.LD:
+		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned load at %#x", addr)
+		}
+		res := c.Hier.Access(addr, false)
+		c.chargeWritebacks(res)
+		c.Acct.AddLoad(c.Model, res.Level)
+		v := c.Mem.Load(addr)
+		c.WriteReg(in.Dst, v)
+		if c.Hook != nil {
+			c.Hook(Event{PC: pc, In: in, Addr: addr, Value: v, Level: res.Level, SrcVals: srcs})
+		}
+		c.PC++
+		return false, nil
+	case in.Op == isa.ST:
+		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned store at %#x", addr)
+		}
+		res := c.Hier.Access(addr, true)
+		c.chargeWritebacks(res)
+		c.Acct.AddStore(c.Model, res.Level)
+		v := c.ReadReg(in.Src2)
+		c.Mem.Store(addr, v)
+		if c.Hook != nil {
+			c.Hook(Event{PC: pc, In: in, Addr: addr, Value: v, Level: res.Level, SrcVals: srcs})
+		}
+		c.PC++
+		return false, nil
+	case in.Op == isa.HALT:
+		c.Acct.AddInstr(c.Model, isa.CatBranch)
+		return true, nil
+	case isa.IsBranch(in.Op) && in.Op != isa.RCMP && in.Op != isa.RTN:
+		c.Acct.AddInstr(c.Model, isa.CatBranch)
+		if isa.BranchTaken(in.Op, c.ReadReg(in.Src1), c.ReadReg(in.Src2)) {
+			c.PC = int(in.Imm)
+		} else {
+			c.PC++
+		}
+	case in.Op == isa.RCMP || in.Op == isa.RTN || in.Op == isa.REC:
+		return false, fmt.Errorf("amnesic opcode %s on classic core", in.Op)
+	default:
+		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	if c.Hook != nil {
+		c.Hook(Event{PC: pc, In: in, SrcVals: srcs})
+	}
+	return false, nil
+}
+
+func (c *Core) chargeWritebacks(res mem.AccessResult) {
+	for i := 0; i < res.WritebackL2; i++ {
+		c.Acct.AddWriteback(c.Model, energy.L2)
+	}
+	for i := 0; i < res.WritebackMem; i++ {
+		c.Acct.AddWriteback(c.Model, energy.Mem)
+	}
+}
+
+// Result summarizes a finished run for reporting.
+type Result struct {
+	Program  string
+	Acct     energy.Account
+	Serviced [energy.NumLevels]uint64
+	Regs     [isa.NumRegs]uint64
+}
+
+// RunProgram is a convenience wrapper: run p on a fresh default-config core
+// over the given initial memory, returning the result.
+func RunProgram(model *energy.Model, p *isa.Program, m *mem.Memory) (*Result, error) {
+	h := mem.NewDefaultHierarchy()
+	core := New(model, h, m)
+	if err := core.Run(p); err != nil {
+		return nil, err
+	}
+	return &Result{Program: p.Name, Acct: core.Acct, Serviced: h.Serviced, Regs: core.Regs}, nil
+}

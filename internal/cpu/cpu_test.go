@@ -1,0 +1,156 @@
+package cpu_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+func run(t *testing.T, build func(*asm.Builder)) *cpu.Core {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	build(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	if err := core.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	core := run(t, func(b *asm.Builder) {
+		b.Li(1, 10).Li(2, 0).Li(3, 1)
+		b.Label("loop")
+		b.Add(2, 2, 1)
+		b.Sub(1, 1, 3)
+		b.Bne(1, isa.R0, "loop")
+		b.Halt()
+	})
+	// sum of 10..1 = 55
+	if core.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", core.Regs[2])
+	}
+	if core.Acct.Instrs == 0 || core.Acct.EnergyNJ <= 0 || core.Acct.TimeNS <= 0 {
+		t.Error("accounting not charged")
+	}
+}
+
+func TestMemoryRoundTripAndLevels(t *testing.T) {
+	core := run(t, func(b *asm.Builder) {
+		b.Li(1, 0x1000).Li(2, 77)
+		b.St(1, 0, 2)
+		b.Ld(3, 1, 0)
+		b.Ld(4, 1, 0)
+		b.Halt()
+	})
+	if core.Regs[3] != 77 || core.Regs[4] != 77 {
+		t.Errorf("loaded %d/%d, want 77", core.Regs[3], core.Regs[4])
+	}
+	if core.Acct.Loads != 2 || core.Acct.Stores != 1 {
+		t.Errorf("counts: %d loads %d stores", core.Acct.Loads, core.Acct.Stores)
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	core := run(t, func(b *asm.Builder) {
+		b.Li(0, 99) // write to r0 discarded
+		b.Add(1, 0, 0)
+		b.Halt()
+	})
+	if core.Regs[0] != 0 || core.Regs[1] != 0 {
+		t.Errorf("r0 not hardwired: r0=%d r1=%d", core.Regs[0], core.Regs[1])
+	}
+}
+
+func TestMisalignedLoadFails(t *testing.T) {
+	b := asm.NewBuilder("bad")
+	b.Li(1, 3)
+	b.Ld(2, 1, 0)
+	b.Halt()
+	p := b.MustAssemble()
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	if err := core.Run(p); err == nil {
+		t.Fatal("misaligned load accepted")
+	}
+}
+
+func TestAmnesicOpcodeRejected(t *testing.T) {
+	p := &isa.Program{Name: "amn", Code: []isa.Instr{{Op: isa.RCMP}, {Op: isa.HALT}}}
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	if err := core.Run(p); err == nil {
+		t.Fatal("classic core executed RCMP")
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	b := asm.NewBuilder("inf")
+	b.Label("spin")
+	b.Jmp("spin")
+	p := b.MustAssemble()
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	core.MaxInstrs = 1000
+	err := core.Run(p)
+	if !errors.Is(err, cpu.ErrInstrBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}
+
+func TestHookObservesSrcVals(t *testing.T) {
+	b := asm.NewBuilder("hook")
+	b.Li(1, 5).Li(2, 7)
+	b.Add(1, 1, 2) // dst == src1: SrcVals must hold pre-exec values
+	b.Halt()
+	p := b.MustAssemble()
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	var got [3]uint64
+	core.Hook = func(ev cpu.Event) {
+		if ev.In.Op == isa.ADD {
+			got = ev.SrcVals
+		}
+	}
+	if err := core.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[1] != 7 {
+		t.Errorf("SrcVals = %v, want pre-exec 5,7", got)
+	}
+}
+
+// Property: the core computes the same sums as Go for random linear loops.
+func TestCoreMatchesGoSemantics(t *testing.T) {
+	f := func(n uint8, k uint16) bool {
+		iters := int64(n%50) + 1
+		mul := int64(k%97) + 1
+		b := asm.NewBuilder("prop")
+		b.Li(1, iters).Li(2, mul).Li(3, 0).Li(4, 0).Li(5, 1)
+		b.Label("loop")
+		b.Mul(6, 4, 2)
+		b.Xor(3, 3, 6)
+		b.Add(4, 4, 5)
+		b.Blt(4, 1, "loop")
+		b.Halt()
+		p := b.MustAssemble()
+		core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+		if err := core.Run(p); err != nil {
+			return false
+		}
+		var want uint64
+		for i := int64(0); i < iters; i++ {
+			want ^= uint64(i) * uint64(mul)
+		}
+		return core.Regs[3] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package energy implements the energy and timing model of the AMNESIAC
+// evaluation: energy per instruction (EPI) by instruction category, energy
+// and round-trip latency per memory-hierarchy level (paper Table 3), the
+// technology-node comparison of paper Table 1, and energy-delay-product
+// accounting. All energies are in nanojoules, all times in nanoseconds.
+package energy
+
+import (
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+// Level identifies where in the memory hierarchy an access is serviced.
+type Level uint8
+
+// Memory hierarchy levels.
+const (
+	L1 Level = iota
+	L2
+	Mem
+	NumLevels
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case Mem:
+		return "Memory"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Model holds the machine's energy/timing parameters. The defaults mirror
+// paper Table 3 (22nm, 1.09 GHz, Xeon-Phi-like core) and the Rdefault of
+// §5.5: EPI_nonmem ≈ 0.45 nJ vs EPI_ld(Mem) = 52.14 nJ, so
+// R = 0.45/52.14 ≈ 0.0086.
+type Model struct {
+	// FrequencyGHz sets the core clock; one non-memory instruction retires
+	// per cycle in the in-order timing model.
+	FrequencyGHz float64
+
+	// EPI per instruction category, excluding memory-hierarchy energy for
+	// loads and stores (that part is charged per serviced level below).
+	EPI [isa.NumCategories]float64
+
+	// ReadEnergy / WriteEnergy / Latency per hierarchy level. Latency is
+	// round-trip in nanoseconds.
+	ReadEnergy  [NumLevels]float64
+	WriteEnergy [NumLevels]float64
+	Latency     [NumLevels]float64
+
+	// Amnesic structure costs (§4: "We conservatively model EPI and access
+	// latency for Hist after L1-D; for SFile, after the physical
+	// registerfile; and for IBuff, after L1-I.")
+	HistReadEnergy  float64
+	HistWriteEnergy float64
+	HistLatency     float64
+	SFileEnergy     float64 // per access; folded into recomputing EPI
+	IBuffReadEnergy float64
+	IBuffLatency    float64
+	FetchEnergy     float64 // per-instruction L1-I fetch energy
+	FetchLatency    float64 // overlapped in-order fetch: 0 extra by default
+	ProbeEnergy     [NumLevels]float64
+	ProbeLatency    [NumLevels]float64
+	RScale          float64 // scales non-memory EPIs (break-even sweeps, §5.5)
+}
+
+// Default returns the paper Table 3 model.
+//
+//	L1-I (LRU):      32KB 4-way   0.88 nJ  3.66 ns
+//	L1-D (LRU, WB):  32KB 8-way   0.88 nJ  3.66 ns
+//	L2 (LRU, WB):    512KB 8-way  7.72 nJ  24.77 ns
+//	Main memory:     read 52.14 nJ, write 62.14 nJ, 100 ns
+//
+// Per-category EPIs are anchored to the measured Xeon Phi estimates of [33]
+// (average non-memory EPI ≈ 0.45 nJ), with relative category weights taken
+// from the McPAT-style fine-tuning the paper describes: moves/simple integer
+// ops slightly below the average, multiplies/FP above, FMA and FP divide the
+// most expensive.
+func Default() *Model {
+	m := &Model{
+		FrequencyGHz: 1.09,
+		RScale:       1.0,
+	}
+	m.EPI[isa.CatNop] = 0.10
+	m.EPI[isa.CatMove] = 0.20
+	m.EPI[isa.CatIntALU] = 0.40
+	m.EPI[isa.CatIntMul] = 0.60
+	m.EPI[isa.CatFPALU] = 0.50
+	m.EPI[isa.CatFMA] = 0.70
+	m.EPI[isa.CatFPDiv] = 0.90
+	m.EPI[isa.CatBranch] = 0.35
+	// Loads/stores: issue overhead only; hierarchy energy charged separately.
+	m.EPI[isa.CatLoad] = 0.10
+	m.EPI[isa.CatStore] = 0.10
+	// RCMP models a conditional branch; REC a store to L1-D; RTN a jump
+	// (§4). The hierarchy/Hist parts are charged where they occur.
+	m.EPI[isa.CatAmnesic] = 0.35
+
+	m.ReadEnergy = [NumLevels]float64{L1: 0.88, L2: 7.72, Mem: 52.14}
+	m.WriteEnergy = [NumLevels]float64{L1: 0.88, L2: 7.72, Mem: 62.14}
+	m.Latency = [NumLevels]float64{L1: 3.66, L2: 24.77, Mem: 100}
+
+	m.HistReadEnergy = 0.88
+	m.HistWriteEnergy = 0.88
+	m.HistLatency = 3.66
+	m.SFileEnergy = 0.0 // modeled after the physical register file: folded into EPI
+	m.IBuffReadEnergy = 0.05
+	m.IBuffLatency = 0.0
+	m.FetchEnergy = 0.15
+	m.FetchLatency = 0.0
+	// Probing level Li to resolve an RCMP costs that level's tag-array
+	// check (§3.3.1, §5.1): a fraction of the full data access. The L2
+	// probe is still an order of magnitude costlier than the L1 probe,
+	// which is what makes LLC consistently worse than FLC (§5.1).
+	m.ProbeEnergy = [NumLevels]float64{L1: 0.13, L2: 1.16, Mem: 0}
+	m.ProbeLatency = [NumLevels]float64{L1: 0.92, L2: 6.19, Mem: 0}
+	return m
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := *m
+	return &c
+}
+
+// CycleNS returns the duration of one core cycle in nanoseconds.
+func (m *Model) CycleNS() float64 { return 1.0 / m.FrequencyGHz }
+
+// InstrEnergy returns the EPI of a non-memory-hierarchy instruction of the
+// given category, with the RScale knob applied to compute categories.
+func (m *Model) InstrEnergy(c isa.Category) float64 {
+	e := m.EPI[c]
+	switch c {
+	case isa.CatLoad, isa.CatStore:
+		return e // issue overhead is not part of R's numerator
+	}
+	return e * m.RScale
+}
+
+// LoadEnergy returns hierarchy energy for a load serviced at level l: the
+// access at l plus the (cheaper) accesses at every level probed on the way.
+func (m *Model) LoadEnergy(l Level) float64 {
+	e := 0.0
+	for i := L1; i <= l; i++ {
+		e += m.ReadEnergy[i]
+	}
+	return e
+}
+
+// StoreEnergy returns hierarchy energy for a store serviced at level l
+// (write-back caches: the store writes the first level that owns the line).
+func (m *Model) StoreEnergy(l Level) float64 {
+	e := 0.0
+	for i := L1; i < l; i++ {
+		e += m.ReadEnergy[i] // miss lookups on the way down
+	}
+	return e + m.WriteEnergy[l]
+}
+
+// LoadLatency returns the round-trip latency of a load serviced at level l.
+func (m *Model) LoadLatency(l Level) float64 { return m.Latency[l] }
+
+// R returns the §5.5 ratio EPI_nonmem / EPI_ld for this model, using the
+// average compute EPI over the ALU categories and the main-memory load
+// energy, matching Rdefault = 0.45/52.14.
+func (m *Model) R() float64 {
+	avg := (m.EPI[isa.CatIntALU] + m.EPI[isa.CatIntMul] + m.EPI[isa.CatFPALU] +
+		m.EPI[isa.CatFMA] + m.EPI[isa.CatFPDiv] + m.EPI[isa.CatMove]) / 6 * m.RScale
+	return avg / m.ReadEnergy[Mem]
+}
+
+// Account accumulates energy (nJ) and time (ns) during a simulation and
+// splits energy by source for the paper's Table 4 breakdown.
+type Account struct {
+	// Totals.
+	EnergyNJ float64
+	TimeNS   float64
+
+	// Energy by source.
+	LoadNJ     float64 // loads (hierarchy + issue), incl. RCMPs that load
+	StoreNJ    float64 // stores (hierarchy + issue), incl. REC Hist writes? no: Hist tracked separately
+	NonMemNJ   float64 // all compute/branch/move instructions
+	HistReadNJ float64 // Hist reads during recomputation (Table 4 column)
+	ProbeNJ    float64 // policy cache-probing overhead (part of LoadNJ? kept separate)
+	FetchNJ    float64 // instruction supply (L1-I / IBuff)
+
+	// Dynamic instruction counts.
+	Instrs      uint64
+	Loads       uint64
+	Stores      uint64
+	ByCategory  [isa.NumCategories]uint64
+	Recomputed  uint64 // RCMPs that fired recomputation
+	RcmpLoads   uint64 // RCMPs that performed the load
+	SliceInstrs uint64 // recomputing instructions executed inside slices
+}
+
+// AddInstr charges one non-memory instruction of category c.
+func (a *Account) AddInstr(m *Model, c isa.Category) {
+	e := m.InstrEnergy(c)
+	a.EnergyNJ += e
+	a.NonMemNJ += e
+	a.TimeNS += m.CycleNS()
+	a.Instrs++
+	a.ByCategory[c]++
+}
+
+// AddFetch charges instruction-supply energy (L1-I or IBuff).
+func (a *Account) AddFetch(e, t float64) {
+	a.EnergyNJ += e
+	a.FetchNJ += e
+	a.TimeNS += t
+}
+
+// AddLoad charges a load serviced at level l.
+func (a *Account) AddLoad(m *Model, l Level) {
+	issue := m.InstrEnergy(isa.CatLoad)
+	hier := m.LoadEnergy(l)
+	a.EnergyNJ += issue + hier
+	a.LoadNJ += issue + hier
+	a.TimeNS += m.LoadLatency(l)
+	a.Instrs++
+	a.Loads++
+	a.ByCategory[isa.CatLoad]++
+}
+
+// AddStore charges a store serviced at level l.
+func (a *Account) AddStore(m *Model, l Level) {
+	issue := m.InstrEnergy(isa.CatStore)
+	hier := m.StoreEnergy(l)
+	a.EnergyNJ += issue + hier
+	a.StoreNJ += issue + hier
+	a.TimeNS += m.Latency[L1] // write-back L1-D: store retires at L1 speed
+	a.Instrs++
+	a.Stores++
+	a.ByCategory[isa.CatStore]++
+}
+
+// AddWriteback charges dirty-line writeback energy into level l (no latency:
+// writebacks are off the critical path in the in-order model).
+func (a *Account) AddWriteback(m *Model, l Level) {
+	e := m.WriteEnergy[l]
+	a.EnergyNJ += e
+	a.StoreNJ += e
+}
+
+// AddProbe charges a policy probe of level l.
+func (a *Account) AddProbe(m *Model, l Level) {
+	e := m.ProbeEnergy[l]
+	a.EnergyNJ += e
+	a.ProbeNJ += e
+	a.LoadNJ += e // probing is part of servicing the (potential) load
+	a.TimeNS += m.ProbeLatency[l]
+}
+
+// AddOverhead charges bookkeeping energy/time (e.g. the branch-like issue
+// overhead of an RCMP that ends up performing its load) without counting a
+// dynamic instruction.
+func (a *Account) AddOverhead(e, t float64) {
+	a.EnergyNJ += e
+	a.NonMemNJ += e
+	a.TimeNS += t
+}
+
+// AddHistRead charges one Hist lookup during slice traversal.
+func (a *Account) AddHistRead(m *Model) {
+	a.EnergyNJ += m.HistReadEnergy
+	a.HistReadNJ += m.HistReadEnergy
+	a.TimeNS += m.HistLatency
+}
+
+// AddHistWrite charges one REC checkpoint (modeled after a store to L1-D).
+func (a *Account) AddHistWrite(m *Model) {
+	a.EnergyNJ += m.HistWriteEnergy
+	a.StoreNJ += m.HistWriteEnergy
+	a.TimeNS += m.HistLatency
+}
+
+// EDP returns the energy-delay product in nJ·ns.
+func (a *Account) EDP() float64 { return a.EnergyNJ * a.TimeNS }
+
+// Add merges o into a (counts and energies; used to combine phases).
+func (a *Account) Add(o *Account) {
+	a.EnergyNJ += o.EnergyNJ
+	a.TimeNS += o.TimeNS
+	a.LoadNJ += o.LoadNJ
+	a.StoreNJ += o.StoreNJ
+	a.NonMemNJ += o.NonMemNJ
+	a.HistReadNJ += o.HistReadNJ
+	a.ProbeNJ += o.ProbeNJ
+	a.FetchNJ += o.FetchNJ
+	a.Instrs += o.Instrs
+	a.Loads += o.Loads
+	a.Stores += o.Stores
+	a.Recomputed += o.Recomputed
+	a.RcmpLoads += o.RcmpLoads
+	a.SliceInstrs += o.SliceInstrs
+	for i := range a.ByCategory {
+		a.ByCategory[i] += o.ByCategory[i]
+	}
+}
+
+// Breakdown returns the percent share of load / store / non-mem / hist-read
+// energy, the split the paper's Table 4 reports. Fetch and probe energy are
+// folded into non-mem and load respectively (probe already is).
+func (a *Account) Breakdown() (load, store, nonmem, hist float64) {
+	total := a.EnergyNJ
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	load = 100 * a.LoadNJ / total
+	store = 100 * a.StoreNJ / total
+	hist = 100 * a.HistReadNJ / total
+	nonmem = 100 - load - store - hist
+	return load, store, nonmem, hist
+}
+
+// TechEntry is one column of paper Table 1 (from Keckler et al. [18]).
+type TechEntry struct {
+	Node        string  // e.g. "40nm"
+	Variant     string  // "", "HP", "LP"
+	VoltageV    float64 // operating voltage
+	SRAMLoadFMA float64 // 64-bit SRAM load energy / 64-bit FMA energy
+}
+
+// Table1 returns the communication-vs-computation energy comparison of
+// paper Table 1.
+func Table1() []TechEntry {
+	return []TechEntry{
+		{Node: "40nm", Variant: "", VoltageV: 0.9, SRAMLoadFMA: 1.55},
+		{Node: "10nm", Variant: "HP", VoltageV: 0.75, SRAMLoadFMA: 5.75},
+		{Node: "10nm", Variant: "LP", VoltageV: 0.65, SRAMLoadFMA: 5.77},
+	}
+}
+
+// OffChipRatio40nm is the paper's §1 figure: off-chip access energy exceeds
+// 50× FMA energy even at 40nm.
+const OffChipRatio40nm = 50.0

@@ -1,0 +1,110 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+func TestDefaultModelMatchesPaper(t *testing.T) {
+	m := Default()
+	if m.ReadEnergy[L1] != 0.88 || m.ReadEnergy[L2] != 7.72 || m.ReadEnergy[Mem] != 52.14 {
+		t.Errorf("read energies diverge from Table 3: %+v", m.ReadEnergy)
+	}
+	if m.WriteEnergy[Mem] != 62.14 {
+		t.Errorf("memory write energy = %v, want 62.14", m.WriteEnergy[Mem])
+	}
+	if m.Latency[L1] != 3.66 || m.Latency[L2] != 24.77 || m.Latency[Mem] != 100 {
+		t.Errorf("latencies diverge from Table 3: %+v", m.Latency)
+	}
+	if m.FrequencyGHz != 1.09 {
+		t.Errorf("frequency = %v, want 1.09", m.FrequencyGHz)
+	}
+	// Rdefault ≈ 0.0086 (§5.5).
+	if r := m.R(); math.Abs(r-0.0086) > 0.002 {
+		t.Errorf("Rdefault = %v, want ≈0.0086", r)
+	}
+}
+
+func TestLoadEnergyMonotonic(t *testing.T) {
+	m := Default()
+	if !(m.LoadEnergy(L1) < m.LoadEnergy(L2) && m.LoadEnergy(L2) < m.LoadEnergy(Mem)) {
+		t.Error("load energy must grow down the hierarchy")
+	}
+	if m.LoadEnergy(Mem) != 0.88+7.72+52.14 {
+		t.Errorf("Mem load energy = %v", m.LoadEnergy(Mem))
+	}
+	if m.StoreEnergy(L1) != 0.88 {
+		t.Errorf("L1 store energy = %v", m.StoreEnergy(L1))
+	}
+}
+
+func TestRScaleOnlyAffectsCompute(t *testing.T) {
+	m := Default()
+	m.RScale = 3
+	if got := m.InstrEnergy(isa.CatIntALU); math.Abs(got-3*m.EPI[isa.CatIntALU]) > 1e-12 {
+		t.Errorf("scaled ALU EPI = %v", got)
+	}
+	if m.InstrEnergy(isa.CatLoad) != 0.10 {
+		t.Error("RScale must not scale load issue energy")
+	}
+	if m.LoadEnergy(Mem) != 0.88+7.72+52.14 {
+		t.Error("RScale must not scale hierarchy energy")
+	}
+}
+
+func TestAccountBreakdownSumsTo100(t *testing.T) {
+	m := Default()
+	var a Account
+	a.AddInstr(m, isa.CatIntALU)
+	a.AddLoad(m, Mem)
+	a.AddStore(m, L1)
+	a.AddHistRead(m)
+	a.AddProbe(m, L1)
+	l, s, n, h := a.Breakdown()
+	if sum := l + s + n + h; math.Abs(sum-100) > 1e-9 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+	if a.Instrs != 3 || a.Loads != 1 || a.Stores != 1 {
+		t.Errorf("counts wrong: %+v", a)
+	}
+}
+
+func TestAccountAddMerges(t *testing.T) {
+	m := Default()
+	var a, b Account
+	a.AddLoad(m, L1)
+	b.AddStore(m, L2)
+	b.AddInstr(m, isa.CatFMA)
+	a.Add(&b)
+	if a.Instrs != 3 || a.Loads != 1 || a.Stores != 1 {
+		t.Errorf("merged counts wrong: %+v", a)
+	}
+	if a.EDP() <= 0 {
+		t.Error("EDP must be positive after activity")
+	}
+}
+
+func TestTable1Reference(t *testing.T) {
+	tb := Table1()
+	if len(tb) != 3 {
+		t.Fatalf("Table 1 has %d entries, want 3", len(tb))
+	}
+	if tb[0].SRAMLoadFMA != 1.55 || tb[1].SRAMLoadFMA != 5.75 || tb[2].SRAMLoadFMA != 5.77 {
+		t.Errorf("Table 1 ratios diverge from the paper: %+v", tb)
+	}
+	// The paper's headline: the ratio grows ~4x from 40nm to 10nm.
+	if tb[1].SRAMLoadFMA <= 2*tb[0].SRAMLoadFMA {
+		t.Error("10nm ratio should far exceed 40nm ratio")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Default()
+	c := m.Clone()
+	c.RScale = 99
+	if m.RScale == 99 {
+		t.Error("Clone shares state")
+	}
+}

@@ -1,0 +1,284 @@
+// Package harness orchestrates the paper's evaluation (§4-§5): it profiles
+// each benchmark, compiles the amnesic binaries (the compiler's
+// probabilistic slice set S and the oracle's set), runs classic and amnesic
+// executions under every policy, verifies architectural equivalence, and
+// regenerates every table and figure of the paper from the measurements.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/stats"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// PolicyLabels in the paper's reporting order (Fig. 3 legend).
+var PolicyLabels = []string{"Oracle", "C-Oracle", "Compiler", "FLC", "LLC"}
+
+// Config parameterizes an evaluation run.
+type Config struct {
+	Model *energy.Model
+	// Scale multiplies workload working sets/iterations (1.0 = full).
+	Scale float64
+	Opts  compiler.Options
+	UArch uarch.Config
+	// Verify compares final architectural state against classic execution
+	// (always recommended; adds no extra simulation).
+	Verify bool
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Model:  energy.Default(),
+		Scale:  1.0,
+		Opts:   compiler.DefaultOptions(),
+		UArch:  uarch.DefaultConfig(),
+		Verify: true,
+	}
+}
+
+// PolicyRun is one amnesic execution under one policy.
+type PolicyRun struct {
+	Label string
+	Acct  energy.Account
+	Stat  amnesic.Stats
+
+	EDPGain    float64 // % EDP reduction vs classic
+	EnergyGain float64 // % energy reduction
+	TimeGain   float64 // % execution-time reduction
+
+	// Swapped is the memory-access profile (%) of the loads swapped at
+	// runtime, weighted by firing counts over the classic per-load
+	// distributions — the paper's Table 5 semantics.
+	Swapped [energy.NumLevels]float64
+	// SwappedCount is the number of dynamic load instances recomputed.
+	SwappedCount uint64
+
+	Verified bool
+}
+
+// BenchResult bundles everything measured for one benchmark.
+type BenchResult struct {
+	Workload *workloads.Workload
+	Program  string
+
+	Classic *cpu.Result
+	Profile *profile.Profile
+
+	// Ann is the probabilistic binary (slice set S); OracleAnn the
+	// oracle-mode binary (every valid slice).
+	Ann       *compiler.Annotated
+	OracleAnn *compiler.Annotated
+
+	// Runs indexed by PolicyLabels.
+	Runs map[string]*PolicyRun
+}
+
+// Run evaluates one benchmark end to end.
+func Run(cfg Config, w *workloads.Workload) (*BenchResult, error) {
+	if cfg.Model == nil {
+		cfg.Model = energy.Default()
+	}
+	prog, initial := w.Build(cfg.Scale)
+	prof, err := profile.Collect(cfg.Model, prog, initial)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	ann, err := compiler.Compile(cfg.Model, prog, prof, initial, cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	oracleOpts := cfg.Opts
+	oracleOpts.Mode = compiler.ModeOracleAll
+	oracleAnn, err := compiler.Compile(cfg.Model, prog, prof, initial, oracleOpts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s (oracle): %w", w.Name, err)
+	}
+
+	classic, err := cpu.RunProgram(cfg.Model, prog, initial.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s classic: %w", w.Name, err)
+	}
+
+	res := &BenchResult{
+		Workload: w, Program: prog.Name,
+		Classic: classic, Profile: prof,
+		Ann: ann, OracleAnn: oracleAnn,
+		Runs: make(map[string]*PolicyRun, len(PolicyLabels)),
+	}
+
+	for _, label := range PolicyLabels {
+		binary := ann
+		var k policy.Kind
+		switch label {
+		case "Oracle":
+			binary, k = oracleAnn, policy.Exact
+		case "C-Oracle":
+			k = policy.Exact
+		case "Compiler":
+			k = policy.Compiler
+		case "FLC":
+			k = policy.FLC
+		case "LLC":
+			k = policy.LLC
+		}
+		run, err := RunPolicy(cfg, binary, initial, classic, prof, k, label)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, label, err)
+		}
+		res.Runs[label] = run
+	}
+	return res, nil
+}
+
+// RunPolicy executes one amnesic configuration and computes its gains.
+func RunPolicy(cfg Config, binary *compiler.Annotated, initial *mem.Memory, classic *cpu.Result, prof *profile.Profile, k policy.Kind, label string) (*PolicyRun, error) {
+	machine, err := amnesic.New(cfg.Model, binary, initial.Clone(), policy.New(k), cfg.UArch)
+	if err != nil {
+		return nil, err
+	}
+	if err := machine.Run(); err != nil {
+		return nil, err
+	}
+	run := &PolicyRun{
+		Label: label,
+		Acct:  machine.Acct,
+		Stat:  machine.Stat,
+	}
+	run.EDPGain = stats.Gain(classic.Acct.EDP(), machine.Acct.EDP())
+	run.EnergyGain = stats.Gain(classic.Acct.EnergyNJ, machine.Acct.EnergyNJ)
+	run.TimeGain = stats.Gain(classic.Acct.TimeNS, machine.Acct.TimeNS)
+	run.Swapped, run.SwappedCount = swappedProfile(binary, prof, machine.Stat)
+	if cfg.Verify {
+		run.Verified = machine.Regs == classic.Regs
+		if !run.Verified {
+			return nil, fmt.Errorf("architectural state diverges from classic execution")
+		}
+	}
+	return run, nil
+}
+
+// swappedProfile computes the paper's Table 5 rows: the classic-execution
+// service-level distribution of the dynamic load instances this policy
+// swapped, approximated by weighting each slice's classic per-load profile
+// with its firing count.
+func swappedProfile(binary *compiler.Annotated, prof *profile.Profile, st amnesic.Stats) ([energy.NumLevels]float64, uint64) {
+	var acc [energy.NumLevels]float64
+	var total float64
+	var count uint64
+	for _, si := range binary.Slices {
+		fires := st.SliceRecomputes[si.ID]
+		if fires == 0 {
+			continue
+		}
+		li := prof.Loads[si.LoadPC]
+		if li == nil || li.Count == 0 {
+			continue
+		}
+		for l := energy.L1; l < energy.NumLevels; l++ {
+			acc[l] += float64(fires) * li.PrLevel(l)
+		}
+		total += float64(fires)
+		count += fires
+	}
+	if total > 0 {
+		for l := range acc {
+			acc[l] = 100 * acc[l] / total
+		}
+	}
+	return acc, count
+}
+
+// RunSuite evaluates the given workloads, returning results in order.
+func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
+	out := make([]*BenchResult, 0, len(ws))
+	for _, w := range ws {
+		r, err := Run(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BreakEven computes the paper's Table 6: the factor by which R (the
+// relative energy cost of non-memory instructions vs loads, §5.5) must grow
+// over Rdefault before amnesic execution under C-Oracle stops improving
+// EDP. The C-Oracle's firing decisions stay frozen at the default R
+// (decisions use the default model; accounting uses the scaled one), so the
+// EDP curves genuinely cross.
+func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, error) {
+	prog, initial := w.Build(cfg.Scale)
+	base := cfg.Model
+	if base == nil {
+		base = energy.Default()
+	}
+	prof, err := profile.Collect(base, prog, initial)
+	if err != nil {
+		return 0, err
+	}
+	ann, err := compiler.Compile(base, prog, prof, initial, cfg.Opts)
+	if err != nil {
+		return 0, err
+	}
+	if len(ann.Slices) == 0 {
+		return 0, fmt.Errorf("harness: %s: no slices to sweep", w.Name)
+	}
+
+	gainAt := func(factor float64) (float64, error) {
+		m := base.Clone()
+		m.RScale = factor
+		classic, err := cpu.RunProgram(m, prog, initial.Clone())
+		if err != nil {
+			return 0, err
+		}
+		machine, err := amnesic.New(m, ann, initial.Clone(), policy.New(policy.Exact), cfg.UArch)
+		if err != nil {
+			return 0, err
+		}
+		machine.DecisionModel = base
+		if err := machine.Run(); err != nil {
+			return 0, err
+		}
+		return stats.Gain(classic.Acct.EDP(), machine.Acct.EDP()), nil
+	}
+
+	lo, hi := 1.0, maxFactor
+	gLo, err := gainAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	if gLo <= 0 {
+		return 1, nil
+	}
+	gHi, err := gainAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if gHi > 0 {
+		return hi, nil // still profitable at the sweep bound
+	}
+	for i := 0; i < 18 && hi-lo > 0.01*lo; i++ {
+		mid := (lo + hi) / 2
+		g, err := gainAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if g > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,109 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+func smallConfig() harness.Config {
+	cfg := harness.DefaultConfig()
+	cfg.Scale = 0.2
+	return cfg
+}
+
+func TestRunVerifiesAllPolicies(t *testing.T) {
+	w, err := workloads.Get("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(smallConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(harness.PolicyLabels) {
+		t.Fatalf("got %d policy runs", len(res.Runs))
+	}
+	for _, label := range harness.PolicyLabels {
+		run := res.Runs[label]
+		if run == nil {
+			t.Fatalf("missing run %q", label)
+		}
+		if !run.Verified {
+			t.Errorf("%s: not verified", label)
+		}
+		if run.Stat.RcmpTotal == 0 {
+			t.Errorf("%s: no RCMPs executed", label)
+		}
+	}
+	if err := harness.InstrMixCheck(res); err != nil {
+		t.Error(err)
+	}
+	// Table 5 rows sum to ~100%.
+	for _, label := range []string{"Compiler", "FLC", "LLC"} {
+		run := res.Runs[label]
+		sum := run.Swapped[0] + run.Swapped[1] + run.Swapped[2]
+		if run.SwappedCount > 0 && (sum < 99.9 || sum > 100.1) {
+			t.Errorf("%s: swapped profile sums to %.2f", label, sum)
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	cfg := smallConfig()
+	ws := []*workloads.Workload{}
+	for _, name := range []string{"bfs", "sr"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	results, err := harness.RunSuite(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	harness.Table1(&sb)
+	harness.Table2(&sb)
+	harness.Table3(&sb, cfg.Model)
+	harness.Fig3(&sb, results)
+	harness.Fig4(&sb, results)
+	harness.Fig5(&sb, results)
+	harness.Table4(&sb, results)
+	harness.Table5(&sb, results)
+	harness.Fig6(&sb, results)
+	harness.Fig7(&sb, results)
+	harness.Fig8(&sb, results)
+	harness.Summary(&sb, results)
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Fig. 3", "Fig. 4", "Fig. 5",
+		"Table 4", "Table 5", "Fig. 6", "Fig. 7", "Fig. 8", "Summary",
+		"bfs", "sr", "1.55", "52.14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestBreakEvenExceedsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	w, err := workloads.Get("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := harness.BreakEven(smallConfig(), w, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be <= 1 {
+		t.Errorf("break-even %v must exceed 1 (amnesic profitable at Rdefault)", be)
+	}
+	t.Logf("is break-even R factor: %.1f", be)
+}

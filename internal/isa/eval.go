@@ -1,0 +1,104 @@
+package isa
+
+import "math"
+
+// EvalCompute evaluates a register-to-register compute instruction (any
+// opcode for which Recomputable reports true) as a pure function of its
+// operand values: a = Src1, b = Src2, dstOld = previous Dst value (read only
+// by FMA). It is shared by the classic core and the amnesic slice-traversal
+// engine so both produce bit-identical results.
+//
+// EvalCompute panics on non-compute opcodes; callers dispatch memory,
+// branch and amnesic opcodes themselves.
+func EvalCompute(in Instr, a, b, dstOld uint64) uint64 {
+	switch in.Op {
+	case LI:
+		return uint64(in.Imm)
+	case MOV:
+		return a
+	case ADD:
+		return a + b
+	case ADDI:
+		return a + uint64(in.Imm)
+	case SUB:
+		return a - b
+	case MUL:
+		return a * b
+	case DIV:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case REM:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SHL:
+		return a << (b & 63)
+	case SHR:
+		return a >> (b & 63)
+	case SLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case SEQ:
+		if a == b {
+			return 1
+		}
+		return 0
+	case FADD:
+		return f(ff(a) + ff(b))
+	case FSUB:
+		return f(ff(a) - ff(b))
+	case FMUL:
+		return f(ff(a) * ff(b))
+	case FDIV:
+		return f(ff(a) / ff(b))
+	case FMA:
+		return f(ff(a)*ff(b) + ff(dstOld))
+	case FNEG:
+		return f(-ff(a))
+	case FSQRT:
+		return f(math.Sqrt(ff(a)))
+	case FABS:
+		return f(math.Abs(ff(a)))
+	case FMIN:
+		return f(math.Min(ff(a), ff(b)))
+	case FMAX:
+		return f(math.Max(ff(a), ff(b)))
+	case I2F:
+		return f(float64(int64(a)))
+	case F2I:
+		return uint64(int64(ff(a)))
+	}
+	panic("isa: EvalCompute on non-compute opcode " + in.Op.String())
+}
+
+// BranchTaken evaluates a conditional/unconditional branch condition given
+// the operand values. JMP is always taken. Panics on non-branch opcodes.
+func BranchTaken(op Op, a, b uint64) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int64(a) < int64(b)
+	case BGE:
+		return int64(a) >= int64(b)
+	case JMP:
+		return true
+	}
+	panic("isa: BranchTaken on non-branch opcode " + op.String())
+}
+
+func ff(x uint64) float64 { return math.Float64frombits(x) }
+func f(x float64) uint64  { return math.Float64bits(x) }

@@ -1,0 +1,182 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringsAndCategories(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+		c := CategoryOf(op)
+		if c >= NumCategories {
+			t.Errorf("op %s: category out of range", op)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("out-of-range opcode reported valid")
+	}
+	if CategoryOf(LD) != CatLoad || CategoryOf(ST) != CatStore {
+		t.Error("memory categories wrong")
+	}
+	if CategoryOf(FMA) != CatFMA || CategoryOf(FDIV) != CatFPDiv {
+		t.Error("FP categories wrong")
+	}
+	if CategoryOf(RCMP) != CatAmnesic || CategoryOf(REC) != CatAmnesic || CategoryOf(RTN) != CatAmnesic {
+		t.Error("amnesic categories wrong")
+	}
+}
+
+func TestRecomputableExcludesMemControl(t *testing.T) {
+	for _, op := range []Op{LD, ST, BEQ, BNE, BLT, BGE, JMP, HALT, RCMP, RTN, REC, NOP} {
+		if Recomputable(op) {
+			t.Errorf("%s must not be recomputable", op)
+		}
+	}
+	for _, op := range []Op{ADD, MUL, FMA, FSQRT, LI, MOV, SHR, XOR} {
+		if !Recomputable(op) {
+			t.Errorf("%s must be recomputable", op)
+		}
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	in := Instr{Op: FMA, Dst: 3, Src1: 1, Src2: 2}
+	uses := in.Uses()
+	if len(uses) != 3 || uses[2] != 3 {
+		t.Errorf("FMA uses = %v, want [r1 r2 r3]", uses)
+	}
+	if d, ok := in.Def(); !ok || d != 3 {
+		t.Errorf("FMA def = %v,%v", d, ok)
+	}
+	st := Instr{Op: ST, Src1: 4, Src2: 5}
+	if _, ok := st.Def(); ok {
+		t.Error("ST must not define a register")
+	}
+	if u := st.Uses(); len(u) != 2 {
+		t.Errorf("ST uses = %v", u)
+	}
+	if u := (Instr{Op: LI, Dst: 1, Imm: 9}).Uses(); len(u) != 0 {
+		t.Errorf("LI uses = %v, want none", u)
+	}
+}
+
+func TestEvalComputeGolden(t *testing.T) {
+	f := math.Float64bits
+	cases := []struct {
+		in      Instr
+		a, b, c uint64
+		want    uint64
+	}{
+		{Instr{Op: LI, Imm: -7}, 0, 0, 0, uint64(0xFFFFFFFFFFFFFFF9)},
+		{Instr{Op: ADD}, 3, 4, 0, 7},
+		{Instr{Op: ADDI, Imm: 5}, 3, 0, 0, 8},
+		{Instr{Op: SUB}, 3, 4, 0, ^uint64(0)},
+		{Instr{Op: MUL}, 6, 7, 0, 42},
+		{Instr{Op: DIV}, uint64(0xFFFFFFFFFFFFFFF8) /* -8 */, 2, 0, uint64(0xFFFFFFFFFFFFFFFC)},
+		{Instr{Op: DIV}, 5, 0, 0, 0},
+		{Instr{Op: REM}, 7, 3, 0, 1},
+		{Instr{Op: REM}, 7, 0, 0, 0},
+		{Instr{Op: AND}, 0b1100, 0b1010, 0, 0b1000},
+		{Instr{Op: OR}, 0b1100, 0b1010, 0, 0b1110},
+		{Instr{Op: XOR}, 0b1100, 0b1010, 0, 0b0110},
+		{Instr{Op: SHL}, 1, 65, 0, 2}, // shift amount masked to 6 bits
+		{Instr{Op: SHR}, 8, 2, 0, 2},
+		{Instr{Op: SLT}, uint64(0xFFFFFFFFFFFFFFFF), 0, 0, 1}, // -1 < 0
+		{Instr{Op: SEQ}, 5, 5, 0, 1},
+		{Instr{Op: MOV}, 99, 0, 0, 99},
+		{Instr{Op: FADD}, f(1.5), f(2.25), 0, f(3.75)},
+		{Instr{Op: FMUL}, f(3), f(4), 0, f(12)},
+		{Instr{Op: FMA}, f(2), f(3), f(10), f(16)},
+		{Instr{Op: FSQRT}, f(9), 0, 0, f(3)},
+		{Instr{Op: FABS}, f(-2.5), 0, 0, f(2.5)},
+		{Instr{Op: FMIN}, f(1), f(2), 0, f(1)},
+		{Instr{Op: FMAX}, f(1), f(2), 0, f(2)},
+		{Instr{Op: I2F}, uint64(0xFFFFFFFFFFFFFFFE) /* -2 */, 0, 0, f(-2)},
+		{Instr{Op: F2I}, f(-3.7), 0, 0, uint64(0xFFFFFFFFFFFFFFFD)},
+	}
+	for _, c := range cases {
+		if got := EvalCompute(c.in, c.a, c.b, c.c); got != c.want {
+			t.Errorf("%s(%#x,%#x,%#x) = %#x, want %#x", c.in.Op, c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestEvalComputePanicsOnNonCompute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalCompute(LD) did not panic")
+		}
+	}()
+	EvalCompute(Instr{Op: LD}, 0, 0, 0)
+}
+
+func TestBranchTaken(t *testing.T) {
+	if !BranchTaken(BEQ, 1, 1) || BranchTaken(BEQ, 1, 2) {
+		t.Error("BEQ wrong")
+	}
+	if !BranchTaken(BNE, 1, 2) || BranchTaken(BNE, 1, 1) {
+		t.Error("BNE wrong")
+	}
+	neg := uint64(0xFFFFFFFFFFFFFFFF)
+	if !BranchTaken(BLT, neg, 0) || BranchTaken(BLT, 0, neg) {
+		t.Error("BLT must be signed")
+	}
+	if !BranchTaken(BGE, 0, neg) {
+		t.Error("BGE must be signed")
+	}
+	if !BranchTaken(JMP, 0, 0) {
+		t.Error("JMP always taken")
+	}
+}
+
+// Property: integer ops with a zero second operand behave like identities
+// or annihilators, never trap (quick-check the total-function property).
+func TestEvalComputeTotal(t *testing.T) {
+	ops := []Op{ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR, SLT, SEQ}
+	f := func(a, b uint64, pick uint8) bool {
+		op := ops[int(pick)%len(ops)]
+		_ = EvalCompute(Instr{Op: op}, a, b, 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	good := Instr{Op: ADD, Dst: 1, Src1: 2, Src2: 3}
+	if err := good.Validate(10); err != nil {
+		t.Errorf("valid instr rejected: %v", err)
+	}
+	if err := (Instr{Op: BEQ, Imm: 10}).Validate(10); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+	if err := (Instr{Op: JMP, Imm: -1}).Validate(10); err == nil {
+		t.Error("negative branch target accepted")
+	}
+	if err := (Instr{Op: RCMP, Target: 99}).Validate(10); err == nil {
+		t.Error("out-of-range slice target accepted")
+	}
+	if err := (Instr{Op: Op(200)}).Validate(10); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestProgramCloneIndependent(t *testing.T) {
+	p := &Program{Name: "p", Code: []Instr{{Op: ADD, Dst: 1}}}
+	c := p.Clone()
+	c.Code[0].Dst = 2
+	if p.Code[0].Dst != 1 {
+		t.Error("Clone shares backing storage")
+	}
+	if p.Len() != 1 {
+		t.Error("Len wrong")
+	}
+}

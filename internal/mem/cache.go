@@ -1,0 +1,244 @@
+package mem
+
+import (
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+// Validate checks the configuration for structural sanity.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a positive power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is one set-associative, LRU, write-back, write-allocate cache level
+// tracking tags only (data is served by Memory).
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]line
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	clock     uint64
+
+	// Stats.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewCache builds a cache; it panics if the configuration is invalid
+// (configurations are static and covered by tests).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic("mem: " + err.Error())
+	}
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	setShift := uint(0)
+	for 1<<setShift < nsets {
+		setShift++
+	}
+	return &Cache{cfg: cfg, sets: sets, lineShift: shift, setShift: setShift, setMask: uint64(nsets - 1)}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return c.sets[lineAddr&c.setMask], lineAddr >> c.setShift
+}
+
+// Contains reports whether addr hits without touching LRU state or stats.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, updating LRU and stats. On a miss it allocates the
+// line, evicting the LRU way; evictedDirty reports whether a dirty victim
+// was written back. write marks the (possibly newly allocated) line dirty.
+func (c *Cache) Access(addr uint64, write bool) (hit, evictedDirty bool) {
+	set, tag := c.locate(addr)
+	c.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true, false
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.Misses++
+	v := &set[victim]
+	if v.valid {
+		c.Evictions++
+		evictedDirty = v.dirty
+	}
+	v.valid, v.tag, v.dirty, v.lru = true, tag, write, c.clock
+	return false, evictedDirty
+}
+
+// Invalidate drops the line containing addr if present, returning whether it
+// was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// DirtyLines returns the number of currently dirty lines (for final flush
+// accounting).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes hit/miss/eviction counters without touching contents.
+func (c *Cache) ResetStats() { c.Hits, c.Misses, c.Evictions = 0, 0, 0 }
+
+// HierarchyConfig configures the two-level data hierarchy.
+type HierarchyConfig struct {
+	L1 CacheConfig
+	L2 CacheConfig
+}
+
+// DefaultHierarchyConfig mirrors paper Table 3: L1-D 32KB 8-way, L2 512KB
+// 8-way, 64-byte lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: CacheConfig{Name: "L1-D", SizeBytes: 32 << 10, Assoc: 8, LineBytes: 64},
+		L2: CacheConfig{Name: "L2", SizeBytes: 512 << 10, Assoc: 8, LineBytes: 64},
+	}
+}
+
+// AccessResult describes one data access through the hierarchy.
+type AccessResult struct {
+	Level energy.Level // where the access was serviced
+	// WritebackL2 / WritebackMem count dirty-victim writebacks triggered at
+	// each boundary (L1→L2 and L2→Mem).
+	WritebackL2  int
+	WritebackMem int
+}
+
+// Hierarchy is the two-level write-back data-cache hierarchy backed by main
+// memory. It is inclusive in the simple sense that L1 misses allocate in
+// both L1 and L2.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	// Per-level serviced-access counts (loads+stores) for PrLi statistics.
+	Serviced [energy.NumLevels]uint64
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{L1: NewCache(cfg.L1), L2: NewCache(cfg.L2)}
+}
+
+// NewDefaultHierarchy builds the paper Table 3 hierarchy.
+func NewDefaultHierarchy() *Hierarchy { return NewHierarchy(DefaultHierarchyConfig()) }
+
+// Access performs a load (write=false) or store (write=true) at addr.
+func (h *Hierarchy) Access(addr uint64, write bool) AccessResult {
+	var r AccessResult
+	if hit, evictedDirty := h.L1.Access(addr, write); hit {
+		r.Level = energy.L1
+		h.Serviced[energy.L1]++
+		return r
+	} else if evictedDirty {
+		// Dirty L1 victim written back into L2. The victim line is already
+		// allocated in L2 under inclusive allocation, but touching it would
+		// perturb L2 LRU for an off-critical-path write; charge energy only.
+		r.WritebackL2++
+	}
+	if hit, evictedDirty := h.L2.Access(addr, write); hit {
+		r.Level = energy.L2
+		h.Serviced[energy.L2]++
+		return r
+	} else if evictedDirty {
+		r.WritebackMem++
+	}
+	r.Level = energy.Mem
+	h.Serviced[energy.Mem]++
+	return r
+}
+
+// Peek returns the level that would service addr right now, with no side
+// effects on cache state or statistics. Used by the oracle policies.
+func (h *Hierarchy) Peek(addr uint64) energy.Level {
+	if h.L1.Contains(addr) {
+		return energy.L1
+	}
+	if h.L2.Contains(addr) {
+		return energy.L2
+	}
+	return energy.Mem
+}
+
+// ResetStats zeroes all counters without touching contents.
+func (h *Hierarchy) ResetStats() {
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.Serviced = [energy.NumLevels]uint64{}
+}

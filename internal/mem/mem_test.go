@@ -1,0 +1,184 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+)
+
+func TestMemoryBasic(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x1000) != 0 {
+		t.Error("untouched memory must read zero")
+	}
+	m.Store(0x1000, 42)
+	if m.Load(0x1000) != 42 {
+		t.Error("store/load roundtrip failed")
+	}
+	m.StoreF(0x2000, 3.5)
+	if m.LoadF(0x2000) != 3.5 {
+		t.Error("float roundtrip failed")
+	}
+}
+
+func TestMemoryMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned access did not panic")
+		}
+	}()
+	NewMemory().Load(3)
+}
+
+func TestMemoryCloneDiffEqual(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x100, 1)
+	m.Store(0x40000, 2) // separate page
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Store(0x100, 9)
+	c.Store(0x50000, 7)
+	if m.Equal(c) {
+		t.Fatal("diverged memories reported equal")
+	}
+	diff := m.Diff(c, 10)
+	if len(diff) != 2 || diff[0] != 0x100 || diff[1] != 0x50000 {
+		t.Errorf("Diff = %#x, want [0x100 0x50000]", diff)
+	}
+}
+
+// Property: a memory behaves like a map from aligned addresses to words.
+func TestMemoryMatchesMap(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Val   uint64
+		Write bool
+	}) bool {
+		m := NewMemory()
+		ref := map[uint64]uint64{}
+		for _, op := range ops {
+			a := uint64(op.Addr) &^ 7
+			if op.Write {
+				m.Store(a, op.Val)
+				ref[a] = op.Val
+			} else if m.Load(a) != ref[a] {
+				return false
+			}
+		}
+		for a, v := range ref {
+			if m.Load(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "z", SizeBytes: 0, Assoc: 1, LineBytes: 64},
+		{Name: "l", SizeBytes: 1024, Assoc: 1, LineBytes: 48},     // not power of 2
+		{Name: "s", SizeBytes: 3 * 1024, Assoc: 2, LineBytes: 64}, // sets not power of 2
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if err := DefaultHierarchyConfig().L1.Validate(); err != nil {
+		t.Errorf("default L1 invalid: %v", err)
+	}
+}
+
+func TestCacheHitMissLRU(t *testing.T) {
+	// Tiny cache: 2 sets, 2-way, 64B lines = 256B.
+	c := NewCache(CacheConfig{Name: "t", SizeBytes: 256, Assoc: 2, LineBytes: 64})
+	// Addresses mapping to set 0: multiples of 128.
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	if hit, _ := c.Access(a, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(a, false); !hit {
+		t.Error("warm access missed")
+	}
+	c.Access(b, false) // set 0 now holds {a,b}
+	c.Access(a, false) // touch a: b becomes LRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(b) {
+		t.Error("LRU line survived")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions)
+	}
+}
+
+func TestCacheWriteBackDirtyEviction(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", SizeBytes: 128, Assoc: 1, LineBytes: 64})
+	c.Access(0, true) // dirty line in set 0
+	if _, dirty := c.Access(128, false); !dirty {
+		t.Error("dirty eviction not reported")
+	}
+	if _, dirty := c.Access(0, false); dirty {
+		t.Error("clean eviction reported dirty")
+	}
+	c.Access(0, true)
+	if c.DirtyLines() != 1 {
+		t.Errorf("DirtyLines = %d, want 1", c.DirtyLines())
+	}
+	if present, dirty := c.Invalidate(0); !present || !dirty {
+		t.Error("Invalidate lost the dirty line")
+	}
+}
+
+func TestHierarchyLevelsAndPeek(t *testing.T) {
+	h := NewDefaultHierarchy()
+	addr := uint64(0x12340)
+	if h.Peek(addr) != energy.Mem {
+		t.Error("cold peek should be Mem")
+	}
+	if r := h.Access(addr, false); r.Level != energy.Mem {
+		t.Errorf("cold access level = %v", r.Level)
+	}
+	if r := h.Access(addr, false); r.Level != energy.L1 {
+		t.Errorf("warm access level = %v", r.Level)
+	}
+	if h.Peek(addr) != energy.L1 {
+		t.Error("peek after access should be L1")
+	}
+	// Evict from L1 by filling its set; line should still be in L2.
+	l1 := h.L1.Config()
+	setStride := uint64(l1.SizeBytes / l1.Assoc)
+	for i := 1; i <= l1.Assoc; i++ {
+		h.Access(addr+uint64(i)*setStride, false)
+	}
+	if lvl := h.Peek(addr); lvl != energy.L2 {
+		t.Errorf("after L1 eviction peek = %v, want L2", lvl)
+	}
+	if h.Serviced[energy.Mem] == 0 || h.Serviced[energy.L1] == 0 {
+		t.Error("serviced counters not updated")
+	}
+}
+
+func TestPeekHasNoSideEffects(t *testing.T) {
+	h := NewDefaultHierarchy()
+	addr := uint64(0x8000)
+	before := h.L1.Hits + h.L1.Misses
+	for i := 0; i < 10; i++ {
+		h.Peek(addr)
+	}
+	if h.L1.Hits+h.L1.Misses != before {
+		t.Error("Peek perturbed statistics")
+	}
+	if h.Peek(addr) != energy.Mem {
+		t.Error("Peek allocated a line")
+	}
+}

@@ -1,0 +1,142 @@
+// Package mem implements the simulated memory system: a sparse functional
+// word memory holding architectural data, and a timing/energy model of the
+// cache hierarchy of paper Table 3 (L1-D and L2, set-associative, LRU,
+// write-back) with per-level hit/miss statistics and non-destructive probes.
+//
+// The functional and timing models are decoupled, as in trace-driven
+// simulators: data always comes from Memory; the caches track only tags and
+// report which level would have serviced each access.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const (
+	pageShift = 12 // 4096 words (32 KiB) per page
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+type page [pageWords]uint64
+
+// Memory is a sparse, word-granular (8-byte) functional memory. Addresses
+// are byte addresses and must be 8-byte aligned; accessors panic on
+// misalignment, which the CPU converts into a simulation error up front.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory (all words read as zero).
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func wordIndex(addr uint64) (pageNo, off uint64) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: misaligned access at %#x", addr))
+	}
+	w := addr >> 3
+	return w >> pageShift, w & pageMask
+}
+
+// Load returns the word at byte address addr.
+func (m *Memory) Load(addr uint64) uint64 {
+	pn, off := wordIndex(addr)
+	p := m.pages[pn]
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// Store writes the word at byte address addr.
+func (m *Memory) Store(addr, val uint64) {
+	pn, off := wordIndex(addr)
+	p := m.pages[pn]
+	if p == nil {
+		if val == 0 {
+			return
+		}
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[off] = val
+}
+
+// LoadF returns the word at addr interpreted as a float64.
+func (m *Memory) LoadF(addr uint64) float64 { return math.Float64frombits(m.Load(addr)) }
+
+// StoreF writes a float64 at addr.
+func (m *Memory) StoreF(addr uint64, f float64) { m.Store(addr, math.Float64bits(f)) }
+
+// Clone returns a deep copy (used by the verifier to snapshot initial state).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.diff(o, 1) == nil
+}
+
+// Diff returns up to max differing byte addresses between m and o, sorted.
+func (m *Memory) Diff(o *Memory, max int) []uint64 {
+	return m.diff(o, max)
+}
+
+func (m *Memory) diff(o *Memory, max int) []uint64 {
+	var out []uint64
+	seen := make(map[uint64]bool)
+	collect := func(a, b *Memory) {
+		for pn, p := range a.pages {
+			if seen[pn] {
+				continue
+			}
+			seen[pn] = true
+			q := b.pages[pn]
+			for off := 0; off < pageWords; off++ {
+				var qv uint64
+				if q != nil {
+					qv = q[off]
+				}
+				if p[off] != qv {
+					out = append(out, ((pn<<pageShift)|uint64(off))<<3)
+					if len(out) >= max {
+						return
+					}
+				}
+			}
+		}
+	}
+	collect(m, o)
+	if len(out) < max {
+		collect(o, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Footprint returns the number of distinct words ever stored (an upper bound
+// on the touched working set; zero stores to untouched pages don't count).
+func (m *Memory) Footprint() int {
+	n := 0
+	for _, p := range m.pages {
+		for _, w := range p {
+			if w != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

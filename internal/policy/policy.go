@@ -1,0 +1,122 @@
+// Package policy implements the runtime recomputation policies of paper
+// §3.3.1 and §5.1. Each time the amnesic scheduler fetches an RCMP it must
+// resolve the fused branch: fire recomputation along the slice, or perform
+// the load. The heuristic policies (FLC, LLC) probe the caches — paying the
+// probe energy — and use a first- or last-level miss as the indicator of an
+// energy-hungry access; Compiler always recomputes; the oracular Exact
+// policy knows the servicing level (and hence the true Eld) for free.
+package policy
+
+import (
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+// Kind enumerates the evaluated policies.
+type Kind uint8
+
+const (
+	// Compiler always fires recomputation for every RCMP fetched (§3.3.1):
+	// the runtime-oblivious policy bounded by the accuracy of the
+	// compiler's probabilistic energy model.
+	Compiler Kind = iota
+	// FLC probes the first-level cache and fires recomputation on a miss.
+	FLC
+	// LLC probes up to the last-level cache and fires recomputation on an
+	// LLC miss (off-chip access indicator).
+	LLC
+	// Exact knows with 100% accuracy where the load would be serviced and
+	// fires recomputation iff the slice's Erc is below the true Eld. Over
+	// the compiler's probabilistic slice set this is the paper's C-Oracle;
+	// over the ModeOracleAll slice set it is Oracle.
+	Exact
+)
+
+var kindNames = map[Kind]string{Compiler: "Compiler", FLC: "FLC", LLC: "LLC", Exact: "Exact"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Ctx carries everything a policy may consult for one RCMP instance.
+type Ctx struct {
+	// Level is where the load would be serviced right now (from a
+	// non-destructive probe of the hierarchy).
+	Level energy.Level
+	// Slice is the compiled slice behind this RCMP.
+	Slice *compiler.SliceInfo
+	// Model provides energy parameters.
+	Model *energy.Model
+}
+
+// Decision is a policy's verdict for one RCMP instance.
+type Decision struct {
+	Recompute bool
+	// ProbeLevels are cache levels whose probing overhead must be charged
+	// when recomputation fires (on a "perform the load" verdict the lookup
+	// work is subsumed by the load itself).
+	ProbeLevels []energy.Level
+}
+
+// Policy resolves RCMP branching conditions.
+type Policy interface {
+	Kind() Kind
+	Decide(Ctx) Decision
+}
+
+// New returns the policy implementation for k.
+func New(k Kind) Policy {
+	switch k {
+	case Compiler:
+		return compilerPolicy{}
+	case FLC:
+		return flcPolicy{}
+	case LLC:
+		return llcPolicy{}
+	case Exact:
+		return exactPolicy{}
+	}
+	panic("policy: unknown kind")
+}
+
+// All returns the policy kinds in the paper's reporting order.
+func All() []Kind { return []Kind{Compiler, FLC, LLC, Exact} }
+
+type compilerPolicy struct{}
+
+func (compilerPolicy) Kind() Kind { return Compiler }
+
+func (compilerPolicy) Decide(Ctx) Decision { return Decision{Recompute: true} }
+
+type flcPolicy struct{}
+
+func (flcPolicy) Kind() Kind { return FLC }
+
+func (flcPolicy) Decide(c Ctx) Decision {
+	if c.Level == energy.L1 {
+		return Decision{Recompute: false}
+	}
+	return Decision{Recompute: true, ProbeLevels: []energy.Level{energy.L1}}
+}
+
+type llcPolicy struct{}
+
+func (llcPolicy) Kind() Kind { return LLC }
+
+func (llcPolicy) Decide(c Ctx) Decision {
+	if c.Level != energy.Mem {
+		return Decision{Recompute: false}
+	}
+	return Decision{Recompute: true, ProbeLevels: []energy.Level{energy.L1, energy.L2}}
+}
+
+type exactPolicy struct{}
+
+func (exactPolicy) Kind() Kind { return Exact }
+
+func (exactPolicy) Decide(c Ctx) Decision {
+	eld := c.Model.InstrEnergy(isa.CatLoad) + c.Model.LoadEnergy(c.Level)
+	if c.Slice.ExpectedErc < eld {
+		return Decision{Recompute: true}
+	}
+	return Decision{Recompute: false}
+}

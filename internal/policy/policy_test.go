@@ -1,0 +1,85 @@
+package policy_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+)
+
+func ctx(level energy.Level, erc float64) policy.Ctx {
+	return policy.Ctx{
+		Level: level,
+		Slice: &compiler.SliceInfo{ExpectedErc: erc},
+		Model: energy.Default(),
+	}
+}
+
+func TestCompilerAlwaysFires(t *testing.T) {
+	p := policy.New(policy.Compiler)
+	for _, l := range []energy.Level{energy.L1, energy.L2, energy.Mem} {
+		d := p.Decide(ctx(l, 1000))
+		if !d.Recompute || len(d.ProbeLevels) != 0 {
+			t.Errorf("Compiler at %v: %+v", l, d)
+		}
+	}
+}
+
+func TestFLCFiresOnL1Miss(t *testing.T) {
+	p := policy.New(policy.FLC)
+	if d := p.Decide(ctx(energy.L1, 1)); d.Recompute {
+		t.Error("FLC fired on an L1 hit")
+	}
+	for _, l := range []energy.Level{energy.L2, energy.Mem} {
+		d := p.Decide(ctx(l, 1))
+		if !d.Recompute {
+			t.Errorf("FLC did not fire at %v", l)
+		}
+		if len(d.ProbeLevels) != 1 || d.ProbeLevels[0] != energy.L1 {
+			t.Errorf("FLC probes = %v, want [L1]", d.ProbeLevels)
+		}
+	}
+}
+
+func TestLLCFiresOnlyOffChip(t *testing.T) {
+	p := policy.New(policy.LLC)
+	if d := p.Decide(ctx(energy.L2, 1)); d.Recompute {
+		t.Error("LLC fired on an L2 hit")
+	}
+	d := p.Decide(ctx(energy.Mem, 1))
+	if !d.Recompute || len(d.ProbeLevels) != 2 {
+		t.Errorf("LLC at Mem: %+v", d)
+	}
+}
+
+func TestExactComparesCosts(t *testing.T) {
+	p := policy.New(policy.Exact)
+	m := energy.Default()
+	cheapSlice := ctx(energy.Mem, 1)
+	if !p.Decide(cheapSlice).Recompute {
+		t.Error("Exact skipped a profitable recomputation")
+	}
+	expensive := ctx(energy.L1, m.LoadEnergy(energy.Mem))
+	if p.Decide(expensive).Recompute {
+		t.Error("Exact fired an unprofitable recomputation")
+	}
+	if len(p.Decide(cheapSlice).ProbeLevels) != 0 {
+		t.Error("Exact must not charge probes (oracular)")
+	}
+}
+
+func TestAllOrderAndNames(t *testing.T) {
+	all := policy.All()
+	if len(all) != 4 {
+		t.Fatalf("All() = %v", all)
+	}
+	for _, k := range all {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if policy.New(k).Kind() != k {
+			t.Errorf("New(%v).Kind() mismatch", k)
+		}
+	}
+}

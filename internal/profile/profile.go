@@ -1,0 +1,335 @@
+// Package profile implements the dynamic profiler that stands in for the
+// paper's Pin-based runtime profiler (§4, "Binary generation"). A profiling
+// run of the classic core collects everything the amnesic compiler needs:
+//
+//   - the producer–consumer dependence graph: for each static instruction
+//     operand, the distribution of static producer PCs that dynamically
+//     supplied its value;
+//   - for each static load, the distribution of static instructions that
+//     produced the loaded *value* (via the store that wrote the address);
+//   - per-load service-level statistics (PrLi of §3.1.1) from cache
+//     hit/miss behaviour;
+//   - read-only address detection (program inputs: addresses never stored
+//     by the program);
+//   - last-value locality per static load (§5.6, Fig. 8).
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+// NoProducer marks an operand value with no producing instruction observed:
+// it came from initial register state (a program input held in a register).
+const NoProducer = -1
+
+// ProducerDist is a distribution over static producer PCs.
+type ProducerDist map[int]uint64
+
+// Dominant returns the most frequent producer and its share of dynamic
+// occurrences. ok is false for an empty distribution.
+func (d ProducerDist) Dominant() (pc int, share float64, ok bool) {
+	var total, best uint64
+	bestPC := NoProducer
+	// Deterministic tie-break: lowest PC wins.
+	pcs := make([]int, 0, len(d))
+	for p := range d {
+		pcs = append(pcs, p)
+	}
+	sort.Ints(pcs)
+	for _, p := range pcs {
+		n := d[p]
+		total += n
+		if n > best {
+			best, bestPC = n, p
+		}
+	}
+	if total == 0 {
+		return NoProducer, 0, false
+	}
+	return bestPC, float64(best) / float64(total), true
+}
+
+// LoadInfo aggregates profiling data for one static load.
+type LoadInfo struct {
+	PC      int
+	Count   uint64                   // dynamic executions
+	ByLevel [energy.NumLevels]uint64 // servicing level counts
+	// ValueProducer distributes over the static PCs whose results were
+	// ultimately loaded (NoProducer = program input / read-only data).
+	ValueProducer ProducerDist
+	// SameValue counts instances whose loaded value equalled the previous
+	// instance's value (last-value locality, Fig. 8).
+	SameValue uint64
+
+	lastValue    uint64
+	lastValueSet bool
+}
+
+// PrLevel returns the empirical probability the load is serviced at l.
+func (li *LoadInfo) PrLevel(l energy.Level) float64 {
+	if li.Count == 0 {
+		return 0
+	}
+	return float64(li.ByLevel[l]) / float64(li.Count)
+}
+
+// ExpectedLoadEnergy returns the probabilistic Eld of §3.1.1: Σ PrLi × EPILi.
+func (li *LoadInfo) ExpectedLoadEnergy(m *energy.Model) float64 {
+	e := m.InstrEnergy(isa.CatLoad)
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		e += li.PrLevel(l) * m.LoadEnergy(l)
+	}
+	return e
+}
+
+// ExpectedHierarchyEnergy returns the probabilistic hierarchy-only energy
+// Σ PrLi × EPILi (no issue overhead), used to cost read-only leaf loads.
+func (li *LoadInfo) ExpectedHierarchyEnergy(m *energy.Model) float64 {
+	e := 0.0
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		e += li.PrLevel(l) * m.LoadEnergy(l)
+	}
+	return e
+}
+
+// ValueLocality returns the last-value locality in [0,1].
+func (li *LoadInfo) ValueLocality() float64 {
+	if li.Count <= 1 {
+		return 0
+	}
+	return float64(li.SameValue) / float64(li.Count-1)
+}
+
+// OperandKey identifies one source operand of one static instruction.
+type OperandKey struct {
+	PC      int
+	Operand int // 0 = Src1, 1 = Src2, 2 = Dst-as-source (FMA)
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	Program *isa.Program
+
+	// Producers maps each instruction source operand to the distribution of
+	// static PCs that produced the register value it consumed.
+	Producers map[OperandKey]ProducerDist
+
+	// Loads maps static load PC -> profiling info.
+	Loads map[int]*LoadInfo
+
+	// StoreValueProducer maps static store PC -> distribution of static PCs
+	// producing the stored value.
+	StoreValueProducer map[int]ProducerDist
+
+	// StoresConsumedBy maps static store PC -> set of static load PCs that
+	// observed a value written by that store (for dead-store analysis).
+	StoresConsumedBy map[int]map[int]bool
+
+	// StoreCount is the dynamic execution count per static store.
+	StoreCount map[int]uint64
+
+	// ReadOnly reports addresses the program never stored to. It is
+	// address-level: a load PC is a "read-only load" if every address it
+	// touched is read-only.
+	writtenAddrs map[uint64]bool
+	// LoadAllReadOnly maps static load PC -> whether all its observed
+	// addresses were never written during the run.
+	LoadAllReadOnly map[int]bool
+	// loadTouched records which addresses each load PC touched, so
+	// read-only classification can be finalized after the run.
+	loadTouched map[int]map[uint64]bool
+
+	// InstrCount is the dynamic count per static PC (all opcodes).
+	InstrCount map[int]uint64
+
+	// TotalDynamic is the total dynamic instruction count.
+	TotalDynamic uint64
+}
+
+// ReadOnlyAddr reports whether the program never stored to addr.
+func (p *Profile) ReadOnlyAddr(addr uint64) bool { return !p.writtenAddrs[addr] }
+
+// Collect profiles program p over a fresh default hierarchy and a *clone* of
+// the provided initial memory (the caller's memory is left untouched).
+func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile, error) {
+	prof := &Profile{
+		Program:            p,
+		Producers:          make(map[OperandKey]ProducerDist),
+		Loads:              make(map[int]*LoadInfo),
+		StoreValueProducer: make(map[int]ProducerDist),
+		StoresConsumedBy:   make(map[int]map[int]bool),
+		StoreCount:         make(map[int]uint64),
+		writtenAddrs:       make(map[uint64]bool),
+		LoadAllReadOnly:    make(map[int]bool),
+		loadTouched:        make(map[int]map[uint64]bool),
+		InstrCount:         make(map[int]uint64),
+	}
+
+	// regProducer tracks the static PC that last wrote each register
+	// (NoProducer = initial state).
+	var regProducer [isa.NumRegs]int
+	for i := range regProducer {
+		regProducer[i] = NoProducer
+	}
+	// memValueProducer tracks, per address, the static PC that produced the
+	// most recently stored value, and the store PC that wrote it.
+	type memOrigin struct {
+		valueProducer int
+		storePC       int
+	}
+	memProd := make(map[uint64]memOrigin)
+
+	core := cpu.New(model, mem.NewDefaultHierarchy(), initial.Clone())
+	core.Hook = func(ev cpu.Event) {
+		prof.InstrCount[ev.PC]++
+		prof.TotalDynamic++
+		in := ev.In
+
+		record := func(opIdx int, r isa.Reg) {
+			if r == isa.R0 {
+				return
+			}
+			k := OperandKey{PC: ev.PC, Operand: opIdx}
+			d := prof.Producers[k]
+			if d == nil {
+				d = make(ProducerDist)
+				prof.Producers[k] = d
+			}
+			d[regProducer[r]]++
+		}
+
+		switch {
+		case isa.Recomputable(in.Op):
+			if in.Op != isa.LI { // LI has no register inputs
+				record(0, in.Src1)
+				if in.Op != isa.MOV && in.Op != isa.ADDI && in.Op != isa.FNEG &&
+					in.Op != isa.FSQRT && in.Op != isa.FABS && in.Op != isa.I2F && in.Op != isa.F2I {
+					record(1, in.Src2)
+				}
+				if isa.ReadsDst(in.Op) {
+					record(2, in.Dst)
+				}
+			}
+			regProducer[in.Dst] = ev.PC
+		case in.Op == isa.LD:
+			record(0, in.Src1) // address operand
+			li := prof.Loads[ev.PC]
+			if li == nil {
+				li = &LoadInfo{PC: ev.PC, ValueProducer: make(ProducerDist)}
+				prof.Loads[ev.PC] = li
+			}
+			li.Count++
+			li.ByLevel[ev.Level]++
+			if li.lastValueSet && li.lastValue == ev.Value {
+				li.SameValue++
+			}
+			li.lastValue, li.lastValueSet = ev.Value, true
+			org, written := memProd[ev.Addr]
+			if written {
+				li.ValueProducer[org.valueProducer]++
+				set := prof.StoresConsumedBy[org.storePC]
+				if set == nil {
+					set = make(map[int]bool)
+					prof.StoresConsumedBy[org.storePC] = set
+				}
+				set[ev.PC] = true
+			} else {
+				li.ValueProducer[NoProducer]++
+			}
+			t := prof.loadTouched[ev.PC]
+			if t == nil {
+				t = make(map[uint64]bool)
+				prof.loadTouched[ev.PC] = t
+			}
+			t[ev.Addr] = true
+			// A load is a register def for dependence purposes.
+			regProducer[in.Dst] = ev.PC
+		case in.Op == isa.ST:
+			record(0, in.Src1) // address operand
+			record(1, in.Src2) // value operand
+			prof.StoreCount[ev.PC]++
+			prof.writtenAddrs[ev.Addr] = true
+			memProd[ev.Addr] = memOrigin{valueProducer: regProducer[in.Src2], storePC: ev.PC}
+		default:
+			// Branches/NOP/HALT: record condition operand producers too, so
+			// the compiler can reason about full dependences if it wants.
+			if isa.IsBranch(in.Op) && in.Op != isa.JMP && in.Op != isa.HALT {
+				record(0, in.Src1)
+				record(1, in.Src2)
+			}
+		}
+	}
+
+	if err := core.Run(p); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+
+	// Finalize per-load read-only classification.
+	for pc, touched := range prof.loadTouched {
+		ro := true
+		for a := range touched {
+			if prof.writtenAddrs[a] {
+				ro = false
+				break
+			}
+		}
+		prof.LoadAllReadOnly[pc] = ro
+	}
+	return prof, nil
+}
+
+// DominantProducer returns the dominant producer of an operand, or
+// (NoProducer, 0, false) if the operand was never observed.
+func (p *Profile) DominantProducer(pc, operand int) (int, float64, bool) {
+	d := p.Producers[OperandKey{PC: pc, Operand: operand}]
+	if d == nil {
+		return NoProducer, 0, false
+	}
+	return d.Dominant()
+}
+
+// SortedLoadPCs returns load PCs in ascending order (deterministic walks).
+func (p *Profile) SortedLoadPCs() []int {
+	pcs := make([]int, 0, len(p.Loads))
+	for pc := range p.Loads {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// DeadStorePCs returns static stores whose values were never consumed by
+// any load outside the given swapped set: if every consuming load of a store
+// is swapped for recomputation, the store becomes redundant (§1). Stores
+// never consumed at all are reported only if alsoUnread is true (they may
+// constitute program output).
+func (p *Profile) DeadStorePCs(swapped map[int]bool, alsoUnread bool) []int {
+	var out []int
+	for st := range p.StoreCount {
+		consumers := p.StoresConsumedBy[st]
+		if len(consumers) == 0 {
+			if alsoUnread {
+				out = append(out, st)
+			}
+			continue
+		}
+		dead := true
+		for ld := range consumers {
+			if !swapped[ld] {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			out = append(out, st)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package rslice
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+// buildSample constructs the paper's Fig. 1 shape: a root with two level-1
+// producers, one of which has its own producer subtree.
+//
+//	root: add r5, r3, r4
+//	  P1:  mul r3, r1, r2      (leaf, inputs r1 r2)
+//	  P2:  add r4, r6, r7      (interior)
+//	    P3: li r6, 9           (leaf, constant)
+//	    P4: shl r7, r8, r9     (leaf, inputs r8 r9)
+func buildSample() *Slice {
+	p1 := &Node{PC: 10, In: isa.Instr{Op: isa.MUL, Dst: 3, Src1: 1, Src2: 2}, Depth: 1}
+	p3 := &Node{PC: 11, In: isa.Instr{Op: isa.LI, Dst: 6, Imm: 9}, Depth: 2}
+	p4 := &Node{PC: 12, In: isa.Instr{Op: isa.SHL, Dst: 7, Src1: 8, Src2: 9}, Depth: 2}
+	p2 := &Node{PC: 13, In: isa.Instr{Op: isa.ADD, Dst: 4, Src1: 6, Src2: 7}, Depth: 1,
+		Children: map[int]*Node{0: p3, 1: p4}}
+	root := &Node{PC: 14, In: isa.Instr{Op: isa.ADD, Dst: 5, Src1: 3, Src2: 4}, Depth: 0,
+		Children: map[int]*Node{0: p1, 1: p2}}
+	s := &Slice{ID: 1, LoadPC: 99, Root: root}
+	s.Finalize()
+	return s
+}
+
+func TestFinalizePostOrder(t *testing.T) {
+	s := buildSample()
+	if s.Len() != 5 {
+		t.Fatalf("len = %d, want 5", s.Len())
+	}
+	// Post-order: children before parents; root last.
+	pos := map[int]int{}
+	for i, n := range s.Nodes {
+		pos[n.PC] = i
+	}
+	if pos[14] != len(s.Nodes)-1 {
+		t.Error("root not last")
+	}
+	if !(pos[10] < pos[14] && pos[13] < pos[14] && pos[11] < pos[13] && pos[12] < pos[13]) {
+		t.Errorf("not post-order: %v", pos)
+	}
+	if s.Height() != 3 {
+		t.Errorf("height = %d, want 3", s.Height())
+	}
+	if got := len(s.Leaves()); got != 3 {
+		t.Errorf("leaves = %d, want 3", got)
+	}
+}
+
+func TestInputsCollectUnexpandedOperands(t *testing.T) {
+	s := buildSample()
+	// Inputs: P1's r1 r2, P4's r8 r9 -> 4 (LI has none; interior covered).
+	if len(s.Inputs) != 4 {
+		t.Fatalf("inputs = %d, want 4: %+v", len(s.Inputs), s.Inputs)
+	}
+	regs := map[isa.Reg]bool{}
+	for _, in := range s.Inputs {
+		regs[in.Reg] = true
+		if in.Kind != InputHist {
+			t.Error("inputs must default to Hist before validation")
+		}
+	}
+	for _, r := range []isa.Reg{1, 2, 8, 9} {
+		if !regs[r] {
+			t.Errorf("missing input register r%d", r)
+		}
+	}
+}
+
+func TestZeroRegisterIsNotAnInput(t *testing.T) {
+	root := &Node{PC: 1, In: isa.Instr{Op: isa.ADD, Dst: 2, Src1: isa.R0, Src2: 3}, Depth: 0}
+	s := &Slice{Root: root}
+	s.Finalize()
+	if len(s.Inputs) != 1 || s.Inputs[0].Reg != 3 {
+		t.Errorf("inputs = %+v, want only r3", s.Inputs)
+	}
+}
+
+func TestCostComponents(t *testing.T) {
+	m := energy.Default()
+	s := buildSample()
+	base := s.Cost(m, CostInputs{})
+	want := m.InstrEnergy(isa.CatAmnesic) + // RTN
+		2*m.InstrEnergy(isa.CatIntALU) + // two adds
+		m.InstrEnergy(isa.CatIntMul) +
+		m.InstrEnergy(isa.CatMove) + // LI
+		m.InstrEnergy(isa.CatIntALU) + // shl
+		4*m.HistReadEnergy // four Hist inputs
+	if diff := base - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost = %v, want %v", base, want)
+	}
+	// Live inputs drop the Hist reads.
+	for _, in := range s.Inputs {
+		in.Kind = InputLive
+	}
+	if got := s.Cost(m, CostInputs{}); got >= base {
+		t.Errorf("live-input cost %v not below hist cost %v", got, base)
+	}
+}
+
+func TestReadOnlyLoadCost(t *testing.T) {
+	m := energy.Default()
+	ld := &Node{PC: 3, In: isa.Instr{Op: isa.LD, Dst: 2, Src1: 1}, Depth: 0, ReadOnlyLoad: true}
+	s := &Slice{Root: ld}
+	s.Finalize()
+	got := s.Cost(m, CostInputs{ReadOnlyLoadEnergy: func(pc int) float64 {
+		if pc != 3 {
+			t.Errorf("cost queried wrong pc %d", pc)
+		}
+		return 7.5
+	}})
+	want := m.InstrEnergy(isa.CatAmnesic) + m.InstrEnergy(isa.CatLoad) + 7.5 + m.HistReadEnergy
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if !s.HasNonRecomputable() {
+		t.Error("read-only load slice must count as non-recomputable (w/ nc)")
+	}
+}
+
+func TestHasNonRecomputable(t *testing.T) {
+	s := buildSample()
+	if !s.HasNonRecomputable() {
+		t.Error("hist inputs must imply w/ nc")
+	}
+	for _, in := range s.Inputs {
+		in.Kind = InputLive
+	}
+	if s.HasNonRecomputable() {
+		t.Error("all-live slice must be w/o nc")
+	}
+}
+
+func TestStringRendersTree(t *testing.T) {
+	s := buildSample()
+	out := s.String()
+	for _, want := range []string{"RSlice(id=1 load@99", "@14", "@10", "input:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package stats provides the small statistics and text-rendering helpers
+// the experiment harness uses to regenerate the paper's tables and figures:
+// bucketed histograms (Figs. 6 and 8), percentage helpers, and fixed-width
+// text tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram buckets values into fixed-width bins over [0, Max).
+type Histogram struct {
+	BucketWidth float64
+	Max         float64
+	counts      []uint64
+	total       uint64
+}
+
+// NewHistogram builds a histogram with the given bucket width and maximum.
+// Values ≥ max land in the last bucket.
+func NewHistogram(bucketWidth, max float64) *Histogram {
+	if bucketWidth <= 0 || max <= bucketWidth {
+		panic("stats: invalid histogram geometry")
+	}
+	n := int(max / bucketWidth)
+	return &Histogram{BucketWidth: bucketWidth, Max: max, counts: make([]uint64, n)}
+}
+
+// Add records one observation with weight w.
+func (h *Histogram) Add(v float64, w uint64) {
+	i := int(v / h.BucketWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i] += w
+	h.total += w
+}
+
+// Total returns the observation weight sum.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Buckets returns (lowEdge, percentage) pairs for non-empty presentation.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	for i, c := range h.counts {
+		pct := 0.0
+		if h.total > 0 {
+			pct = 100 * float64(c) / float64(h.total)
+		}
+		out[i] = Bucket{Low: float64(i) * h.BucketWidth, High: float64(i+1) * h.BucketWidth, Count: c, Percent: pct}
+	}
+	return out
+}
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Low, High float64
+	Count     uint64
+	Percent   float64
+}
+
+// ShareAbove returns the percentage of weight at or above v.
+func (h *Histogram) ShareAbove(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n uint64
+	for i, c := range h.counts {
+		if float64(i)*h.BucketWidth >= v {
+			n += c
+		}
+	}
+	return 100 * float64(n) / float64(h.total)
+}
+
+// ShareBelow returns the percentage of weight strictly below v.
+func (h *Histogram) ShareBelow(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 - h.ShareAbove(v)
+}
+
+// Render writes an ASCII histogram: one row per non-empty bucket with a bar
+// scaled to the largest bucket.
+func (h *Histogram) Render(w io.Writer, label string) {
+	fmt.Fprintf(w, "%s (n=%d)\n", label, h.total)
+	var maxPct float64
+	for _, b := range h.Buckets() {
+		if b.Percent > maxPct {
+			maxPct = b.Percent
+		}
+	}
+	if maxPct == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	for _, b := range h.Buckets() {
+		if b.Count == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+int(b.Percent/maxPct*40))
+		fmt.Fprintf(w, "  [%6.0f,%6.0f) %6.2f%% %s\n", b.Low, b.High, b.Percent, bar)
+	}
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct returns 100*a/b, or 0 when b is 0.
+func Pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * a / b
+}
+
+// Gain returns the percent improvement of v over baseline: positive when v
+// is smaller (less energy, less time, lower EDP).
+func Gain(baseline, v float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (1 - v/baseline)
+}

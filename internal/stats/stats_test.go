@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBucketsAndShares(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Add(5, 1)   // [0,10)
+	h.Add(15, 3)  // [10,20)
+	h.Add(95, 1)  // [90,100)
+	h.Add(500, 1) // clamped into last bucket
+	h.Add(-3, 1)  // clamped into first bucket
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	b := h.Buckets()
+	if b[0].Count != 2 || b[1].Count != 3 || b[9].Count != 2 {
+		t.Errorf("buckets = %+v", b)
+	}
+	if got := h.ShareBelow(20); math.Abs(got-100*5.0/7.0) > 1e-9 {
+		t.Errorf("ShareBelow(20) = %v", got)
+	}
+	if got := h.ShareAbove(90); math.Abs(got-100*2.0/7.0) > 1e-9 {
+		t.Errorf("ShareAbove(90) = %v", got)
+	}
+}
+
+// Property: shares above and below any bucket boundary always sum to 100.
+func TestHistogramSharesComplementary(t *testing.T) {
+	f := func(vals []float64, cut uint8) bool {
+		h := NewHistogram(5, 50)
+		for _, v := range vals {
+			h.Add(math.Abs(v), 1)
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		c := float64(cut%10) * 5
+		return math.Abs(h.ShareAbove(c)+h.ShareBelow(c)-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(10, 50)
+	h.Add(12, 4)
+	var sb strings.Builder
+	h.Render(&sb, "demo")
+	out := sb.String()
+	if !strings.Contains(out, "demo (n=4)") || !strings.Contains(out, "#") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", "xyz")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Name", "-----", "alpha", "1.50", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestGainAndPct(t *testing.T) {
+	if g := Gain(200, 100); g != 50 {
+		t.Errorf("Gain = %v", g)
+	}
+	if g := Gain(100, 120); math.Abs(g+20) > 1e-9 {
+		t.Errorf("negative gain = %v", g)
+	}
+	if Gain(0, 5) != 0 || Pct(1, 0) != 0 {
+		t.Error("zero baselines must not divide by zero")
+	}
+	if p := Pct(1, 4); p != 25 {
+		t.Errorf("Pct = %v", p)
+	}
+}
+
+func TestHistogramInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid geometry accepted")
+		}
+	}()
+	NewHistogram(0, 10)
+}

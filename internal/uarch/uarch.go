@@ -1,0 +1,201 @@
+// Package uarch implements the amnesic microarchitectural structures of
+// paper Fig. 2: the SFile scratch register file that isolates recomputation
+// from architectural state (Condition-I, §3.2), the Hist table buffering
+// non-recomputable leaf inputs (Condition-II), and the IBuff instruction
+// buffer that relaxes I-cache pressure during slice traversal. Each
+// structure has a capacity and an invalid bit per entry, and overflow
+// semantics matching §3.5: a failed REC forces the matching RCMP to skip
+// recomputation.
+//
+// The register Renamer of Fig. 2 has no runtime state here: operand routing
+// is resolved at compile time (compiler.BodyInstr.Srcs), which is the
+// software equivalent of the renamer's work; SFile slots are allocated
+// positionally (one per recomputing instruction), respecting the paper's
+// max#rename = 3 per-instruction bound via the capacity check in Begin.
+package uarch
+
+// SFile is the scratch file recomputing instructions communicate over.
+// Entries are (re)allocated per slice traversal; the architectural register
+// file is never touched during recomputation.
+type SFile struct {
+	entries []sfileEntry
+	// Reads / Writes count accesses for reporting.
+	Reads, Writes uint64
+	// Overflows counts traversals rejected because the slice needed more
+	// entries than the SFile has.
+	Overflows uint64
+}
+
+type sfileEntry struct {
+	val   uint64
+	valid bool
+}
+
+// NewSFile returns an SFile with the given entry count. The paper's loose
+// upper bound is max-instructions-per-slice × 3 (§3.4).
+func NewSFile(capacity int) *SFile {
+	return &SFile{entries: make([]sfileEntry, capacity)}
+}
+
+// Capacity returns the entry count.
+func (s *SFile) Capacity() int { return len(s.entries) }
+
+// Begin prepares a traversal needing n result slots, invalidating previous
+// contents. It reports false (and counts an overflow) if n exceeds capacity,
+// in which case the RCMP must perform the load instead.
+func (s *SFile) Begin(n int) bool {
+	if n > len(s.entries) {
+		s.Overflows++
+		return false
+	}
+	for i := 0; i < n; i++ {
+		s.entries[i] = sfileEntry{}
+	}
+	return true
+}
+
+// Write stores a recomputing instruction's result into its slot.
+func (s *SFile) Write(slot int, v uint64) {
+	s.entries[slot] = sfileEntry{val: v, valid: true}
+	s.Writes++
+}
+
+// Read returns the value in slot; ok=false if the slot was never written
+// during this traversal (a compiler bug the machine turns into an error).
+func (s *SFile) Read(slot int) (uint64, bool) {
+	s.Reads++
+	e := s.entries[slot]
+	return e.val, e.valid
+}
+
+// Hist buffers non-recomputable leaf inputs: up to three operand values per
+// entry (max#src, §3.4), keyed by the compiler-assigned Hist ID (the
+// "leaf-address" of the paper). Capacity overflow fails the REC.
+type Hist struct {
+	capacity int
+	entries  map[int]histEntry
+	// MaxUsed tracks the high-water mark of allocated entries (for the
+	// §5.4 sizing analysis: "no more than 600 entries").
+	MaxUsed int
+	// Reads / Writes / FailedWrites count accesses.
+	Reads, Writes, FailedWrites uint64
+}
+
+type histEntry struct {
+	vals [3]uint64
+	mask uint8
+}
+
+// NewHist returns a Hist with the given entry capacity.
+func NewHist(capacity int) *Hist {
+	return &Hist{capacity: capacity, entries: make(map[int]histEntry)}
+}
+
+// Capacity returns the entry capacity.
+func (h *Hist) Capacity() int { return h.capacity }
+
+// Used returns the number of live entries.
+func (h *Hist) Used() int { return len(h.entries) }
+
+// Write checkpoints the masked values into entry id. It reports false when
+// the table is full and id has no existing entry (a failed REC, §3.5).
+func (h *Hist) Write(id int, vals [3]uint64, mask uint8) bool {
+	if _, ok := h.entries[id]; !ok && len(h.entries) >= h.capacity {
+		h.FailedWrites++
+		return false
+	}
+	h.entries[id] = histEntry{vals: vals, mask: mask}
+	if len(h.entries) > h.MaxUsed {
+		h.MaxUsed = len(h.entries)
+	}
+	h.Writes++
+	return true
+}
+
+// Read returns slot `slot` of entry id; ok=false if the entry or slot was
+// never recorded.
+func (h *Hist) Read(id, slot int) (uint64, bool) {
+	h.Reads++
+	e, ok := h.entries[id]
+	if !ok || e.mask&(1<<uint(slot)) == 0 {
+		return 0, false
+	}
+	return e.vals[slot], true
+}
+
+// Invalidate drops entry id (space deallocation).
+func (h *Hist) Invalidate(id int) { delete(h.entries, id) }
+
+// IBuff caches recomputing instructions so repeated traversals of hot
+// slices are fed from a small buffer instead of the L1 instruction cache.
+// It is modeled at slice granularity with LRU replacement: a slice whose
+// body fits is resident after its first traversal.
+type IBuff struct {
+	capacity int // total instruction entries
+	resident map[int]int
+	lruClock uint64
+	lru      map[int]uint64
+	used     int
+	// HitInstrs / MissInstrs count instruction fetches served by IBuff vs
+	// the instruction cache.
+	HitInstrs, MissInstrs uint64
+}
+
+// NewIBuff returns an IBuff holding up to capacity recomputing instructions
+// (0 disables it: every fetch misses).
+func NewIBuff(capacity int) *IBuff {
+	return &IBuff{capacity: capacity, resident: make(map[int]int), lru: make(map[int]uint64)}
+}
+
+// Capacity returns the instruction-entry capacity.
+func (b *IBuff) Capacity() int { return b.capacity }
+
+// Traverse records a traversal of slice sliceID with bodyLen instructions
+// and returns how many instruction fetches hit in IBuff (the rest come from
+// the instruction cache). A slice that does not fit is never resident.
+func (b *IBuff) Traverse(sliceID, bodyLen int) (hits, misses int) {
+	b.lruClock++
+	b.lru[sliceID] = b.lruClock
+	if n, ok := b.resident[sliceID]; ok && n == bodyLen {
+		b.HitInstrs += uint64(bodyLen)
+		return bodyLen, 0
+	}
+	b.MissInstrs += uint64(bodyLen)
+	if bodyLen <= b.capacity {
+		for b.used+bodyLen > b.capacity {
+			b.evictLRU()
+		}
+		b.resident[sliceID] = bodyLen
+		b.used += bodyLen
+	}
+	return 0, bodyLen
+}
+
+func (b *IBuff) evictLRU() {
+	victim, best := -1, uint64(0)
+	for id := range b.resident {
+		if t := b.lru[id]; victim == -1 || t < best {
+			victim, best = id, t
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	b.used -= b.resident[victim]
+	delete(b.resident, victim)
+}
+
+// Config sizes the amnesic structures. Defaults follow §5.4: fewer than 50
+// entries suffice for SFile and IBuff on most slices; Hist needs no more
+// than 600 entries across the deployed benchmarks. We size conservatively
+// above those floors, as the paper's evaluation did.
+type Config struct {
+	SFileEntries int
+	HistEntries  int
+	IBuffEntries int
+}
+
+// DefaultConfig returns the evaluation sizing.
+func DefaultConfig() Config {
+	return Config{SFileEntries: 192, HistEntries: 600, IBuffEntries: 256}
+}

