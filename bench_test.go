@@ -13,6 +13,7 @@ package amnesiac_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
@@ -419,6 +420,56 @@ func BenchmarkAblationShadowTouch(b *testing.B) {
 			b.ReportMetric(fired, "recomputations")
 		})
 	}
+}
+
+// --- Harness scheduling (suite wall-clock) ---
+
+// suiteBench measures one full responsive-suite evaluation per iteration
+// under the given worker count. Compare BenchmarkSuiteSerial with
+// BenchmarkSuiteParallel for the scheduler's wall-clock speedup (expected
+// near-linear up to core count on multi-core machines; identical results
+// either way, see TestRunSuiteParallelMatchesSerial).
+func suiteBench(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.Workers = workers
+	ws := workloads.Responsive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunSuite(cfg, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(cfg.Workers), "workers")
+}
+
+// BenchmarkSuiteSerial is the Workers=1 baseline.
+func BenchmarkSuiteSerial(b *testing.B) { suiteBench(b, 1) }
+
+// BenchmarkSuiteParallel uses the default pool (GOMAXPROCS workers).
+func BenchmarkSuiteParallel(b *testing.B) { suiteBench(b, 0) }
+
+// BenchmarkBreakEvenCached measures a Table 6 sweep whose prepare-stage
+// artifacts come from a primed cache (the cmd/experiments configuration).
+func BenchmarkBreakEvenCached(b *testing.B) {
+	w, err := workloads.Get("is")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	cfg.Cache = harness.NewArtifactCache()
+	if _, err := harness.Run(cfg, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var be float64
+	for i := 0; i < b.N; i++ {
+		be, err = harness.BreakEven(cfg, w, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(be, "breakeven_R_factor")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions

@@ -27,6 +27,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available benchmarks")
 		policies = flag.String("policies", strings.Join(harness.PolicyLabels, ","), "comma-separated policies to report")
 		verbose  = flag.Bool("v", false, "print compiled slice details")
+		workers  = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Workers = *workers
 	res, err := harness.Run(cfg, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -21,15 +21,19 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		suite = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
-		maxR  = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
+		exp     = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		suite   = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
+		maxR    = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
+		workers = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Workers = *workers
+	// One shared cache so the Table 6 sweep reuses the suite's compiles.
+	cfg.Cache = harness.NewArtifactCache()
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -86,7 +86,9 @@ type Machine struct {
 	// same line reads Mem. See BenchmarkAblationShadowTouch.
 	ShadowTouch bool
 
-	failedSlices map[int]bool
+	// failedSlices is indexed by slice ID (IDs are dense: the slice's
+	// position in Ann.Slices).
+	failedSlices []bool
 	sliceVals    []uint64 // scratch per-traversal (SFile mirror for values)
 }
 
@@ -104,10 +106,10 @@ func New(model *energy.Model, ann *compiler.Annotated, m *mem.Memory, pol policy
 		SFile:  uarch.NewSFile(cfg.SFileEntries),
 		Hist:   uarch.NewHist(cfg.HistEntries),
 		IBuff:  uarch.NewIBuff(cfg.IBuffEntries),
-		Stat:   Stats{SliceRecomputes: make(map[int]uint64)},
+		Stat:   Stats{SliceRecomputes: make(map[int]uint64, len(ann.Slices))},
 
 		ShadowTouch:  true,
-		failedSlices: make(map[int]bool),
+		failedSlices: make([]bool, len(ann.Slices)),
 	}, nil
 }
 
@@ -129,20 +131,24 @@ func (m *Machine) WriteReg(r isa.Reg, v uint64) {
 // Run executes the annotated program to HALT.
 func (m *Machine) Run() error {
 	p := m.Ann.Prog
+	code := p.Code
 	max := m.MaxInstrs
 	if max == 0 {
 		max = cpu.DefaultMaxInstrs
 	}
+	// Hoist per-instruction fetch parameters out of the hot loop; the
+	// model is read-only for the duration of the run.
+	fetchE, fetchT := m.Model.FetchEnergy, m.Model.FetchLatency
 	m.PC = 0
 	for {
-		if m.PC < 0 || m.PC >= len(p.Code) {
+		if m.PC < 0 || m.PC >= len(code) {
 			return fmt.Errorf("amnesic: pc %d out of range (%q)", m.PC, p.Name)
 		}
 		if m.Acct.Instrs >= max {
 			return fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
 		}
-		in := p.Code[m.PC]
-		m.Acct.AddFetch(m.Model.FetchEnergy, m.Model.FetchLatency)
+		in := code[m.PC]
+		m.Acct.AddFetch(fetchE, fetchT)
 		halt, err := m.step(in)
 		if err != nil {
 			return fmt.Errorf("amnesic: pc %d (%s): %w", m.PC, in, err)
@@ -235,7 +241,9 @@ func (m *Machine) execREC(in isa.Instr) {
 	}
 	if !m.Hist.Write(spec.HistID, vals, spec.Mask) {
 		m.Stat.RecFailed++
-		m.failedSlices[int(in.SliceID)] = true
+		if id := int(in.SliceID); id >= 0 && id < len(m.failedSlices) {
+			m.failedSlices[id] = true
+		}
 	}
 }
 
@@ -256,6 +264,7 @@ func (m *Machine) execRCMP(in isa.Instr) error {
 
 	dec := policy.Decision{Recompute: false}
 	if !m.failedSlices[si.ID] {
+		// (si.ID is in range: SliceByID bounds-checked it above.)
 		dm := m.DecisionModel
 		if dm == nil {
 			dm = m.Model

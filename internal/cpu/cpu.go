@@ -81,6 +81,12 @@ func (c *Core) WriteReg(r isa.Reg, v uint64) {
 // Run executes the program from PC 0 until HALT. It returns an error for
 // malformed programs, amnesic opcodes (which only the amnesic machine
 // executes), misaligned accesses, or budget exhaustion.
+//
+// When Hook is nil — every plain simulation; only the profiler installs a
+// hook — Run takes a fast-path loop with all hook bookkeeping (operand
+// snapshots, event construction, the per-case nil checks) compiled out and
+// the fetch parameters hoisted out of the loop. Both paths are
+// architecturally and energetically identical.
 func (c *Core) Run(p *isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("cpu: %w", err)
@@ -90,6 +96,9 @@ func (c *Core) Run(p *isa.Program) error {
 		max = DefaultMaxInstrs
 	}
 	c.PC = 0
+	if c.Hook == nil {
+		return c.runFast(p, max)
+	}
 	for {
 		if c.PC < 0 || c.PC >= len(p.Code) {
 			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", c.PC, p.Name, len(p.Code))
@@ -109,6 +118,81 @@ func (c *Core) Run(p *isa.Program) error {
 			return nil
 		}
 	}
+}
+
+// runFast is the Hook-free interpreter loop.
+func (c *Core) runFast(p *isa.Program, max uint64) error {
+	code := p.Code
+	fetchE, fetchT := c.Model.FetchEnergy, c.Model.FetchLatency
+	charge := c.ChargeFetch
+	for {
+		if c.PC < 0 || c.PC >= len(code) {
+			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", c.PC, p.Name, len(code))
+		}
+		if c.Acct.Instrs >= max {
+			return fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+		}
+		in := code[c.PC]
+		if charge {
+			c.Acct.AddFetch(fetchE, fetchT)
+		}
+		halt, err := c.stepFast(in)
+		if err != nil {
+			return fmt.Errorf("cpu: pc %d (%s): %w", c.PC, in, err)
+		}
+		if halt {
+			return nil
+		}
+	}
+}
+
+// stepFast is Step minus the Hook bookkeeping. Keep the two in lockstep.
+func (c *Core) stepFast(in isa.Instr) (halt bool, err error) {
+	switch {
+	case in.Op == isa.NOP:
+		c.Acct.AddInstr(c.Model, isa.CatNop)
+		c.PC++
+	case isa.Recomputable(in.Op):
+		v := isa.EvalCompute(in, c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst))
+		c.WriteReg(in.Dst, v)
+		c.Acct.AddInstr(c.Model, isa.CategoryOf(in.Op))
+		c.PC++
+	case in.Op == isa.LD:
+		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned load at %#x", addr)
+		}
+		res := c.Hier.Access(addr, false)
+		c.chargeWritebacks(res)
+		c.Acct.AddLoad(c.Model, res.Level)
+		c.WriteReg(in.Dst, c.Mem.Load(addr))
+		c.PC++
+	case in.Op == isa.ST:
+		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
+		if addr&7 != 0 {
+			return false, fmt.Errorf("misaligned store at %#x", addr)
+		}
+		res := c.Hier.Access(addr, true)
+		c.chargeWritebacks(res)
+		c.Acct.AddStore(c.Model, res.Level)
+		c.Mem.Store(addr, c.ReadReg(in.Src2))
+		c.PC++
+	case in.Op == isa.HALT:
+		c.Acct.AddInstr(c.Model, isa.CatBranch)
+		return true, nil
+	case isa.IsBranch(in.Op) && in.Op != isa.RCMP && in.Op != isa.RTN:
+		c.Acct.AddInstr(c.Model, isa.CatBranch)
+		if isa.BranchTaken(in.Op, c.ReadReg(in.Src1), c.ReadReg(in.Src2)) {
+			c.PC = int(in.Imm)
+		} else {
+			c.PC++
+		}
+	case in.Op == isa.RCMP || in.Op == isa.RTN || in.Op == isa.REC:
+		return false, fmt.Errorf("amnesic opcode %s on classic core", in.Op)
+	default:
+		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	return false, nil
 }
 
 // Step executes one instruction at the current PC, advancing PC. It returns
@@ -199,8 +283,15 @@ type Result struct {
 // RunProgram is a convenience wrapper: run p on a fresh default-config core
 // over the given initial memory, returning the result.
 func RunProgram(model *energy.Model, p *isa.Program, m *mem.Memory) (*Result, error) {
+	return RunProgramLimit(model, p, m, 0)
+}
+
+// RunProgramLimit is RunProgram with a dynamic-instruction budget
+// (0 means DefaultMaxInstrs).
+func RunProgramLimit(model *energy.Model, p *isa.Program, m *mem.Memory, maxInstrs uint64) (*Result, error) {
 	h := mem.NewDefaultHierarchy()
 	core := New(model, h, m)
+	core.MaxInstrs = maxInstrs
 	if err := core.Run(p); err != nil {
 		return nil, err
 	}

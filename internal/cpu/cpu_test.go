@@ -154,3 +154,60 @@ func TestCoreMatchesGoSemantics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFastPathMatchesHookedPath locks the nil-Hook fast loop to the hooked
+// loop: same architectural state, same accounting, same serviced levels.
+func TestFastPathMatchesHookedPath(t *testing.T) {
+	build := func() (*cpu.Core, *mem.Hierarchy, *isa.Program) {
+		b := asm.NewBuilder("fastpath")
+		b.Li(1, 64).Li(2, 0).Li(3, 1).Li(4, 4096)
+		b.Label("loop")
+		b.St(4, 0, 2)    // mem[r4] = counter
+		b.Ld(5, 4, 0)    // load it back
+		b.Add(2, 2, 5)   // accumulate
+		b.Addi(4, 4, 64) // stride one cache line
+		b.Sub(1, 1, 3)
+		b.Bne(1, isa.R0, "loop")
+		b.Halt()
+		p := b.MustAssemble()
+		h := mem.NewDefaultHierarchy()
+		return cpu.New(energy.Default(), h, mem.NewMemory()), h, p
+	}
+
+	fast, fastH, p := build()
+	if err := fast.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	hooked, hookedH, p2 := build()
+	events := 0
+	hooked.Hook = func(cpu.Event) { events++ }
+	if err := hooked.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	if fast.Regs != hooked.Regs {
+		t.Errorf("registers diverge: fast %v vs hooked %v", fast.Regs, hooked.Regs)
+	}
+	if fast.Acct != hooked.Acct {
+		t.Errorf("accounting diverges:\nfast   %+v\nhooked %+v", fast.Acct, hooked.Acct)
+	}
+	if fastH.Serviced != hookedH.Serviced {
+		t.Errorf("serviced levels diverge: %v vs %v", fastH.Serviced, hookedH.Serviced)
+	}
+	// Every retired instruction except HALT raises a hook event.
+	if uint64(events) != hooked.Acct.Instrs-1 {
+		t.Errorf("hook saw %d events for %d instructions", events, hooked.Acct.Instrs)
+	}
+}
+
+// TestRunProgramLimit verifies the budget plumbing of the wrapper.
+func TestRunProgramLimit(t *testing.T) {
+	b := asm.NewBuilder("inf")
+	b.Label("spin")
+	b.Jmp("spin")
+	p := b.MustAssemble()
+	_, err := cpu.RunProgramLimit(energy.Default(), p, mem.NewMemory(), 500)
+	if !errors.Is(err, cpu.ErrInstrBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}

@@ -38,6 +38,13 @@ func (l Level) String() string {
 // paper Table 3 (22nm, 1.09 GHz, Xeon-Phi-like core) and the Rdefault of
 // §5.5: EPI_nonmem ≈ 0.45 nJ vs EPI_ld(Mem) = 52.14 nJ, so
 // R = 0.45/52.14 ≈ 0.0086.
+//
+// A Model is read-only once simulation starts: cores, amnesic machines,
+// policies, the profiler, and the compiler only ever read it, so a single
+// Model is safely shared by the harness's concurrent worker pool (which
+// also keys its artifact cache on Model identity). Mutate a Model only
+// before handing it to a run; a worker that needs different parameters
+// (e.g. BreakEven's RScale sweep) must operate on its own Clone.
 type Model struct {
 	// FrequencyGHz sets the core clock; one non-memory instruction retires
 	// per cycle in the in-order timing model.
@@ -122,7 +129,8 @@ func Default() *Model {
 	return m
 }
 
-// Clone returns a deep copy of the model.
+// Clone returns a deep copy of the model, for workers that need private
+// parameter mutations while the original stays shared read-only.
 func (m *Model) Clone() *Model {
 	c := *m
 	return &c

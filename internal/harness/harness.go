@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
 	"github.com/amnesiac-sim/amnesiac/internal/compiler"
@@ -25,6 +26,9 @@ var PolicyLabels = []string{"Oracle", "C-Oracle", "Compiler", "FLC", "LLC"}
 
 // Config parameterizes an evaluation run.
 type Config struct {
+	// Model is the energy/timing model. It is shared read-only across every
+	// simulation the harness schedules (see energy.Model); per-worker
+	// mutation must go through Model.Clone, as BreakEven's sweep does.
 	Model *energy.Model
 	// Scale multiplies workload working sets/iterations (1.0 = full).
 	Scale float64
@@ -33,6 +37,18 @@ type Config struct {
 	// Verify compares final architectural state against classic execution
 	// (always recommended; adds no extra simulation).
 	Verify bool
+	// Workers bounds the scheduler's concurrent simulation jobs: 0 means
+	// runtime.GOMAXPROCS(0), 1 runs strictly serially. Parallel runs are
+	// deterministic: results are deep-equal to a Workers=1 run.
+	Workers int
+	// MaxInstrs bounds the dynamic instruction count of each simulated
+	// execution (classic baseline and amnesic runs); 0 means
+	// cpu.DefaultMaxInstrs.
+	MaxInstrs uint64
+	// Cache, when non-nil, shares prepare-stage artifacts (profiles,
+	// compiled binaries, classic baselines) across harness entry points, so
+	// e.g. a Table 6 sweep after RunSuite reuses its compiles.
+	Cache *ArtifactCache
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -44,6 +60,30 @@ func DefaultConfig() Config {
 		UArch:  uarch.DefaultConfig(),
 		Verify: true,
 	}
+}
+
+// withDefaults normalizes the zero-value conveniences.
+func (cfg Config) withDefaults() Config {
+	if cfg.Model == nil {
+		cfg.Model = energy.Default()
+	}
+	return cfg
+}
+
+// workerCount resolves Workers to a concrete pool size.
+func (cfg Config) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cache returns the configured shared cache, or a fresh private one.
+func (cfg Config) cache() *ArtifactCache {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return NewArtifactCache()
 }
 
 // PolicyRun is one amnesic execution under one policy.
@@ -83,61 +123,14 @@ type BenchResult struct {
 	Runs map[string]*PolicyRun
 }
 
-// Run evaluates one benchmark end to end.
+// Run evaluates one benchmark end to end, fanning the policy runs out over
+// the scheduler's worker pool.
 func Run(cfg Config, w *workloads.Workload) (*BenchResult, error) {
-	if cfg.Model == nil {
-		cfg.Model = energy.Default()
-	}
-	prog, initial := w.Build(cfg.Scale)
-	prof, err := profile.Collect(cfg.Model, prog, initial)
+	res, err := RunSuite(cfg, []*workloads.Workload{w})
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+		return nil, err
 	}
-	ann, err := compiler.Compile(cfg.Model, prog, prof, initial, cfg.Opts)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
-	}
-	oracleOpts := cfg.Opts
-	oracleOpts.Mode = compiler.ModeOracleAll
-	oracleAnn, err := compiler.Compile(cfg.Model, prog, prof, initial, oracleOpts)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s (oracle): %w", w.Name, err)
-	}
-
-	classic, err := cpu.RunProgram(cfg.Model, prog, initial.Clone())
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s classic: %w", w.Name, err)
-	}
-
-	res := &BenchResult{
-		Workload: w, Program: prog.Name,
-		Classic: classic, Profile: prof,
-		Ann: ann, OracleAnn: oracleAnn,
-		Runs: make(map[string]*PolicyRun, len(PolicyLabels)),
-	}
-
-	for _, label := range PolicyLabels {
-		binary := ann
-		var k policy.Kind
-		switch label {
-		case "Oracle":
-			binary, k = oracleAnn, policy.Exact
-		case "C-Oracle":
-			k = policy.Exact
-		case "Compiler":
-			k = policy.Compiler
-		case "FLC":
-			k = policy.FLC
-		case "LLC":
-			k = policy.LLC
-		}
-		run, err := RunPolicy(cfg, binary, initial, classic, prof, k, label)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, label, err)
-		}
-		res.Runs[label] = run
-	}
-	return res, nil
+	return res[0], nil
 }
 
 // RunPolicy executes one amnesic configuration and computes its gains.
@@ -146,6 +139,7 @@ func RunPolicy(cfg Config, binary *compiler.Annotated, initial *mem.Memory, clas
 	if err != nil {
 		return nil, err
 	}
+	machine.MaxInstrs = cfg.MaxInstrs
 	if err := machine.Run(); err != nil {
 		return nil, err
 	}
@@ -198,17 +192,63 @@ func swappedProfile(binary *compiler.Annotated, prof *profile.Profile, st amnesi
 	return acc, count
 }
 
-// RunSuite evaluates the given workloads, returning results in order.
+// RunSuite evaluates the given workloads, returning results in workload
+// order. The (workload × policy) grid runs as a job DAG over a bounded
+// worker pool of cfg.Workers goroutines (see scheduler.go); result assembly
+// is order-preserving, so the output is deep-equal — and renders
+// byte-identical reports — regardless of worker count. On failure the error
+// reported is the one a serial run would have hit first.
 func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
-	out := make([]*BenchResult, 0, len(ws))
-	for _, w := range ws {
-		r, err := Run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	cfg = cfg.withDefaults()
+	cache := cfg.cache()
+
+	results := make([]*BenchResult, len(ws))
+	// runs[i][j] is workload i under PolicyLabels[j]; each cell is written
+	// by exactly one job, so assembly below needs no locking.
+	runs := make([][]*PolicyRun, len(ws))
+	var errs errSet
+	rank := func(wIdx, pIdx int) int { return wIdx*(len(PolicyLabels)+1) + pIdx + 1 }
+
+	p := newPool(cfg.workerCount(), len(ws)*(1+len(PolicyLabels)))
+	for i, w := range ws {
+		i, w := i, w
+		runs[i] = make([]*PolicyRun, len(PolicyLabels))
+		p.submit(func() {
+			art, err := cache.get(cfg, w)
+			if err != nil {
+				errs.record(rank(i, -1), err)
+				return
+			}
+			results[i] = &BenchResult{
+				Workload: w, Program: art.Prog.Name,
+				Classic: art.Classic, Profile: art.Profile,
+				Ann: art.Ann, OracleAnn: art.OracleAnn,
+			}
+			for j, label := range PolicyLabels {
+				j, label := j, label
+				p.submit(func() {
+					binary, k := policyBinary(art, label)
+					run, err := RunPolicy(cfg, binary, art.Initial, art.Classic, art.Profile, k, label)
+					if err != nil {
+						errs.record(rank(i, j), fmt.Errorf("harness: %s/%s: %w", w.Name, label, err))
+						return
+					}
+					runs[i][j] = run
+				})
+			}
+		})
 	}
-	return out, nil
+	p.wait()
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.Runs = make(map[string]*PolicyRun, len(PolicyLabels))
+		for j, label := range PolicyLabels {
+			r.Runs[label] = runs[i][j]
+		}
+	}
+	return results, nil
 }
 
 // BreakEven computes the paper's Table 6: the factor by which R (the
@@ -217,28 +257,27 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 // EDP. The C-Oracle's firing decisions stay frozen at the default R
 // (decisions use the default model; accounting uses the scaled one), so the
 // EDP curves genuinely cross.
+// The prepare-stage artifacts (profile, compiled binary) come from the
+// shared ArtifactCache, so a sweep after RunSuite reuses its compiles; the
+// two bracketing gainAt probes run concurrently when cfg allows parallelism.
 func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, error) {
-	prog, initial := w.Build(cfg.Scale)
+	cfg = cfg.withDefaults()
 	base := cfg.Model
-	if base == nil {
-		base = energy.Default()
-	}
-	prof, err := profile.Collect(base, prog, initial)
+	art, err := cfg.cache().get(cfg, w)
 	if err != nil {
 		return 0, err
 	}
-	ann, err := compiler.Compile(base, prog, prof, initial, cfg.Opts)
-	if err != nil {
-		return 0, err
-	}
+	prog, initial, ann := art.Prog, art.Initial, art.Ann
 	if len(ann.Slices) == 0 {
 		return 0, fmt.Errorf("harness: %s: no slices to sweep", w.Name)
 	}
 
+	// gainAt clones the model per probe (decisions stay frozen at base),
+	// so concurrent probes never share mutable state.
 	gainAt := func(factor float64) (float64, error) {
 		m := base.Clone()
 		m.RScale = factor
-		classic, err := cpu.RunProgram(m, prog, initial.Clone())
+		classic, err := cpu.RunProgramLimit(m, prog, initial.Clone(), cfg.MaxInstrs)
 		if err != nil {
 			return 0, err
 		}
@@ -246,6 +285,7 @@ func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, e
 		if err != nil {
 			return 0, err
 		}
+		machine.MaxInstrs = cfg.MaxInstrs
 		machine.DecisionModel = base
 		if err := machine.Run(); err != nil {
 			return 0, err
@@ -253,17 +293,33 @@ func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, e
 		return stats.Gain(classic.Acct.EDP(), machine.Acct.EDP()), nil
 	}
 
+	// Bracket the crossing: probe both ends, concurrently when allowed.
 	lo, hi := 1.0, maxFactor
-	gLo, err := gainAt(lo)
-	if err != nil {
-		return 0, err
+	var gLo, gHi float64
+	var errLo, errHi error
+	parallel := cfg.workerCount() > 1
+	if parallel {
+		done := make(chan struct{})
+		go func() {
+			gHi, errHi = gainAt(hi)
+			close(done)
+		}()
+		gLo, errLo = gainAt(lo)
+		<-done
+	} else {
+		gLo, errLo = gainAt(lo)
+	}
+	if errLo != nil {
+		return 0, errLo
 	}
 	if gLo <= 0 {
 		return 1, nil
 	}
-	gHi, err := gainAt(hi)
-	if err != nil {
-		return 0, err
+	if !parallel {
+		gHi, errHi = gainAt(hi)
+	}
+	if errHi != nil {
+		return 0, errHi
 	}
 	if gHi > 0 {
 		return hi, nil // still profitable at the sweep bound

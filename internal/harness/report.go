@@ -188,17 +188,38 @@ func Fig8(w io.Writer, results []*BenchResult) {
 }
 
 // Table6 renders the break-even analysis (paper Table 6): the normalized R
-// at which amnesic execution under C-Oracle stops paying off.
+// at which amnesic execution under C-Oracle stops paying off. The
+// per-benchmark sweeps are independent, so they fan out over the worker
+// pool; rows render in workload order regardless of completion order.
 func Table6(w io.Writer, cfg Config, ws []*workloads.Workload, maxFactor float64) error {
+	cfg = cfg.withDefaults()
+	if cfg.Cache == nil {
+		cfg.Cache = NewArtifactCache()
+	}
+	factors := make([]float64, len(ws))
+	var errs errSet
+	p := newPool(cfg.workerCount(), len(ws))
+	for i, wl := range ws {
+		i, wl := i, wl
+		p.submit(func() {
+			f, err := BreakEven(cfg, wl, maxFactor)
+			if err != nil {
+				errs.record(i, err)
+				return
+			}
+			factors[i] = f
+		})
+	}
+	p.wait()
+	if err := errs.first(); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Table 6: Break-even point for C-Oracle (R normalized to Rdefault)")
 	t := stats.NewTable("Benchmark", "R_breakeven (normalized)")
-	for _, wl := range ws {
-		f, err := BreakEven(cfg, wl, maxFactor)
-		if err != nil {
-			return err
-		}
-		label := fmt.Sprintf("%.2f", f)
-		if f >= maxFactor {
+	for i, wl := range ws {
+		label := fmt.Sprintf("%.2f", factors[i])
+		if factors[i] >= maxFactor {
 			label = fmt.Sprintf(">= %.0f", maxFactor)
 		}
 		t.Row(wl.Name, label)

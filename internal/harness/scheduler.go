@@ -1,0 +1,198 @@
+// Concurrent evaluation scheduler. The paper's evaluation is embarrassingly
+// parallel — every benchmark, and every policy within a benchmark, is an
+// independent simulation — so the harness fans the (workload × policy) grid
+// out as a job DAG over a bounded worker pool:
+//
+//	prepare(w) ─┬─ policy(w, Oracle)
+//	            ├─ policy(w, C-Oracle)
+//	            ├─ policy(w, Compiler)
+//	            ├─ policy(w, FLC)
+//	            └─ policy(w, LLC)
+//
+// prepare builds the workload, profiles it, compiles both annotated
+// binaries, and runs the classic baseline; the five policy runs then only
+// read those artifacts. Results are written into pre-indexed slots and
+// assembled in workload/policy order after the pool drains, so parallel
+// output is byte-identical to serial output. All shared inputs (the
+// energy.Model, compiler.Annotated binaries, profiles, and the initial
+// memory image) are read-only during runs; every simulation clones the
+// memory image and builds private caches and machine state.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// pool is a bounded worker pool. Jobs may submit further jobs (the DAG's
+// policy stage is enqueued by the prepare stage); the queue is sized for
+// the whole DAG up front so submission never blocks a worker.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newPool starts workers goroutines servicing a queue of at most capacity
+// jobs. workers must be >= 1.
+func newPool(workers, capacity int) *pool {
+	p := &pool{jobs: make(chan func(), capacity)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for job := range p.jobs {
+				job()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job. Safe to call from within a running job.
+func (p *pool) submit(job func()) {
+	p.wg.Add(1)
+	p.jobs <- job
+}
+
+// wait blocks until every submitted job (including jobs submitted by jobs)
+// has finished, then stops the workers. The pool cannot be reused.
+func (p *pool) wait() {
+	p.wg.Wait()
+	close(p.jobs)
+}
+
+// errSet collects job failures and deterministically reports the error the
+// serial harness would have hit first: the smallest (workload, policy) rank.
+type errSet struct {
+	mu   sync.Mutex
+	rank int
+	err  error
+}
+
+func (e *errSet) record(rank int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil || rank < e.rank {
+		e.rank, e.err = rank, err
+	}
+}
+
+func (e *errSet) first() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Artifacts bundles the per-workload products of the prepare stage. All
+// fields are read-only once built: policy runs, break-even sweeps, and
+// reports share one Artifacts value across goroutines, cloning Initial for
+// every simulation.
+type Artifacts struct {
+	Prog    *isa.Program
+	Initial *mem.Memory
+	Profile *profile.Profile
+	// Ann is the probabilistic binary (slice set S); OracleAnn the
+	// oracle-mode binary (every valid slice).
+	Ann       *compiler.Annotated
+	OracleAnn *compiler.Annotated
+	Classic   *cpu.Result
+}
+
+// artifactKey identifies one prepare-stage product. compiler.Options is a
+// flat comparable struct, and the model is keyed by identity: the cache
+// relies on Model being read-only during runs (see energy.Model docs).
+type artifactKey struct {
+	name  string
+	scale float64
+	model *energy.Model
+	opts  compiler.Options
+}
+
+type cacheEntry struct {
+	once sync.Once
+	art  *Artifacts
+	err  error
+}
+
+// ArtifactCache memoizes prepare-stage artifacts (profile, compiled
+// binaries, classic baseline) across harness entry points, keyed by program
+// name, scale, model identity, and compiler options. It is safe for
+// concurrent use and deduplicates in-flight builds, so BreakEven's bisection
+// and a prior RunSuite share one compile instead of redoing it.
+type ArtifactCache struct {
+	mu sync.Mutex
+	m  map[artifactKey]*cacheEntry
+}
+
+// NewArtifactCache returns an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{m: make(map[artifactKey]*cacheEntry)}
+}
+
+// get returns the artifacts for (cfg, w), building them at most once per
+// key even under concurrent callers.
+func (c *ArtifactCache) get(cfg Config, w *workloads.Workload) (*Artifacts, error) {
+	key := artifactKey{name: w.Name, scale: cfg.Scale, model: cfg.Model, opts: cfg.Opts}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.art, e.err = buildArtifacts(cfg, w) })
+	return e.art, e.err
+}
+
+// buildArtifacts runs the prepare stage for one workload: build, profile,
+// compile (probabilistic + oracle), and the classic baseline run.
+func buildArtifacts(cfg Config, w *workloads.Workload) (*Artifacts, error) {
+	prog, initial := w.Build(cfg.Scale)
+	prof, err := profile.Collect(cfg.Model, prog, initial)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	ann, err := compiler.Compile(cfg.Model, prog, prof, initial, cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	oracleOpts := cfg.Opts
+	oracleOpts.Mode = compiler.ModeOracleAll
+	oracleAnn, err := compiler.Compile(cfg.Model, prog, prof, initial, oracleOpts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s (oracle): %w", w.Name, err)
+	}
+	classic, err := cpu.RunProgramLimit(cfg.Model, prog, initial.Clone(), cfg.MaxInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s classic: %w", w.Name, err)
+	}
+	return &Artifacts{
+		Prog: prog, Initial: initial, Profile: prof,
+		Ann: ann, OracleAnn: oracleAnn, Classic: classic,
+	}, nil
+}
+
+// policyBinary maps a policy label to the binary it executes and its
+// runtime policy kind (paper §5.1).
+func policyBinary(art *Artifacts, label string) (*compiler.Annotated, policy.Kind) {
+	switch label {
+	case "Oracle":
+		return art.OracleAnn, policy.Exact
+	case "C-Oracle":
+		return art.Ann, policy.Exact
+	case "FLC":
+		return art.Ann, policy.FLC
+	case "LLC":
+		return art.Ann, policy.LLC
+	default: // "Compiler"
+		return art.Ann, policy.Compiler
+	}
+}

@@ -53,9 +53,17 @@ type Decision struct {
 	Recompute bool
 	// ProbeLevels are cache levels whose probing overhead must be charged
 	// when recomputation fires (on a "perform the load" verdict the lookup
-	// work is subsumed by the load itself).
+	// work is subsumed by the load itself). The slice may be shared across
+	// decisions and goroutines: callers must only read it.
 	ProbeLevels []energy.Level
 }
+
+// Shared, read-only probe-level sets: Decide sits on the per-RCMP hot path,
+// so the heuristic policies must not allocate a fresh slice per decision.
+var (
+	probeFLC = []energy.Level{energy.L1}
+	probeLLC = []energy.Level{energy.L1, energy.L2}
+)
 
 // Policy resolves RCMP branching conditions.
 type Policy interface {
@@ -95,7 +103,7 @@ func (flcPolicy) Decide(c Ctx) Decision {
 	if c.Level == energy.L1 {
 		return Decision{Recompute: false}
 	}
-	return Decision{Recompute: true, ProbeLevels: []energy.Level{energy.L1}}
+	return Decision{Recompute: true, ProbeLevels: probeFLC}
 }
 
 type llcPolicy struct{}
@@ -106,7 +114,7 @@ func (llcPolicy) Decide(c Ctx) Decision {
 	if c.Level != energy.Mem {
 		return Decision{Recompute: false}
 	}
-	return Decision{Recompute: true, ProbeLevels: []energy.Level{energy.L1, energy.L2}}
+	return Decision{Recompute: true, ProbeLevels: probeLLC}
 }
 
 type exactPolicy struct{}

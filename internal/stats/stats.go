@@ -179,9 +179,11 @@ func Pct(a, b float64) float64 {
 }
 
 // Gain returns the percent improvement of v over baseline: positive when v
-// is smaller (less energy, less time, lower EDP).
+// is smaller (less energy, less time, lower EDP). A degenerate baseline
+// (zero, negative, or NaN) reports 0 rather than leaking Inf/NaN into
+// tables.
 func Gain(baseline, v float64) float64 {
-	if baseline == 0 {
+	if !(baseline > 0) {
 		return 0
 	}
 	return 100 * (1 - v/baseline)

@@ -86,6 +86,14 @@ func TestGainAndPct(t *testing.T) {
 	if Gain(0, 5) != 0 || Pct(1, 0) != 0 {
 		t.Error("zero baselines must not divide by zero")
 	}
+	for _, base := range []float64{0, -10, math.NaN()} {
+		if g := Gain(base, 5); g != 0 {
+			t.Errorf("Gain(%v, 5) = %v, want 0 (degenerate baseline)", base, g)
+		}
+	}
+	if g := Gain(100, math.Inf(1)); !math.IsInf(g, -1) {
+		t.Errorf("Gain with infinite v = %v", g) // v is the caller's problem
+	}
 	if p := Pct(1, 4); p != 25 {
 		t.Errorf("Pct = %v", p)
 	}
