@@ -1,0 +1,19 @@
+package main
+
+import "fmt"
+
+// validateFlags rejects nonsensical flag values up front with actionable
+// messages, instead of letting a negative worker count or instruction
+// budget surface later as a hang or a wrapped-around uint64.
+func validateFlags(scale float64, workers int, maxInstrs int64) error {
+	if scale <= 0 {
+		return fmt.Errorf("amnesiac: -scale must be positive, got %g", scale)
+	}
+	if workers < 0 {
+		return fmt.Errorf("amnesiac: -workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if maxInstrs < 0 {
+		return fmt.Errorf("amnesiac: -maxinstrs must be >= 0 (0 = default budget), got %d", maxInstrs)
+	}
+	return nil
+}

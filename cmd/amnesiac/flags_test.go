@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		scale     float64
+		workers   int
+		maxInstrs int64
+		wantErr   string
+	}{
+		{"defaults", 1.0, 0, 0, ""},
+		{"explicit", 0.5, 4, 1_000_000, ""},
+		{"zero scale", 0, 0, 0, "-scale must be positive"},
+		{"negative scale", -1, 0, 0, "-scale must be positive"},
+		{"negative workers", 1.0, -2, 0, "-workers must be >= 0"},
+		{"negative budget", 1.0, 0, -5, "-maxinstrs must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.scale, tc.workers, tc.maxInstrs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

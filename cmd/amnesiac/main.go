@@ -28,8 +28,14 @@ func main() {
 		policies = flag.String("policies", strings.Join(harness.PolicyLabels, ","), "comma-separated policies to report")
 		verbose  = flag.Bool("v", false, "print compiled slice details")
 		workers  = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		maxInstr = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*scale, *workers, *maxInstr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		t := stats.NewTable("Name", "Suite", "Input", "Responsive", "Description")
@@ -53,6 +59,7 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.MaxInstrs = uint64(*maxInstr)
 	res, err := harness.Run(cfg, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		scale     float64
+		workers   int
+		maxInstrs int64
+		maxR      float64
+		wantErr   string
+	}{
+		{"defaults", 1.0, 0, 0, 200, ""},
+		{"explicit", 0.35, 8, 5_000_000, 50, ""},
+		{"zero scale", 0, 0, 0, 200, "-scale must be positive"},
+		{"negative workers", 1.0, -1, 0, 200, "-workers must be >= 0"},
+		{"negative budget", 1.0, 0, -1, 200, "-maxinstrs must be >= 0"},
+		{"maxr at 1", 1.0, 0, 0, 1, "-maxr must exceed 1"},
+		{"negative maxr", 1.0, 0, 0, -3, "-maxr must exceed 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.scale, tc.workers, tc.maxInstrs, tc.maxR)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

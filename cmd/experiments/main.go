@@ -25,13 +25,20 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		suite   = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
 		maxR    = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
-		workers = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		workers  = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		maxInstr = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*scale, *workers, *maxInstr, *maxR); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.MaxInstrs = uint64(*maxInstr)
 	// One shared cache so the Table 6 sweep reuses the suite's compiles.
 	cfg.Cache = harness.NewArtifactCache()
 

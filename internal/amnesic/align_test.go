@@ -1,0 +1,35 @@
+package amnesic
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+// TestMachineMisalignedAccessReturnsError mirrors the classic-core test:
+// the amnesic machine's classic LD/ST paths surface misaligned addresses
+// as typed errors, not accessor panics.
+func TestMachineMisalignedAccessReturnsError(t *testing.T) {
+	p, err := asm.Parse("misaligned", "li r1, 9\nld r2, 0(r1)\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := &compiler.Annotated{Original: p, Prog: p}
+	m, err := New(energy.Default(), ann, mem.NewMemory(), policy.New(policy.Compiler), uarch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run()
+	if err == nil {
+		t.Fatal("misaligned load succeeded")
+	}
+	if !errors.Is(err, mem.ErrMisaligned) {
+		t.Fatalf("error does not wrap mem.ErrMisaligned: %v", err)
+	}
+}

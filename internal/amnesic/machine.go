@@ -70,6 +70,19 @@ type Machine struct {
 	// MaxInstrs bounds the run; 0 means cpu.DefaultMaxInstrs.
 	MaxInstrs uint64
 
+	// StoreHook, if non-nil, observes every architectural store (ST) in
+	// retirement order. The differential tester uses it to compare the
+	// amnesic store stream against classic execution; plain runs leave it
+	// nil for speed.
+	StoreHook func(addr, val uint64)
+
+	// TamperRTN is fault injection for the differential oracle's negative
+	// tests: a non-zero value is XORed into every value an RTN copies into
+	// the eliminated load's destination register, deliberately breaking the
+	// semantics-preservation property the oracle must catch. Production runs
+	// leave it zero.
+	TamperRTN uint64
+
 	// DecisionModel, when non-nil, is the energy model policies consult to
 	// resolve RCMPs, while Model keeps doing the accounting. The Table 6
 	// break-even sweep (§5.5) uses this to freeze the C-Oracle's decision
@@ -175,8 +188,8 @@ func (m *Machine) step(in isa.Instr) (halt bool, err error) {
 		m.PC++
 	case in.Op == isa.LD:
 		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned load at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("load: %w", err)
 		}
 		res := m.Hier.Access(addr, false)
 		m.chargeWritebacks(res)
@@ -185,13 +198,17 @@ func (m *Machine) step(in isa.Instr) (halt bool, err error) {
 		m.PC++
 	case in.Op == isa.ST:
 		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned store at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("store: %w", err)
 		}
 		res := m.Hier.Access(addr, true)
 		m.chargeWritebacks(res)
 		m.Acct.AddStore(m.Model, res.Level)
-		m.Mem.Store(addr, m.ReadReg(in.Src2))
+		v := m.ReadReg(in.Src2)
+		m.Mem.Store(addr, v)
+		if m.StoreHook != nil {
+			m.StoreHook(addr, v)
+		}
 		m.PC++
 	case in.Op == isa.REC:
 		m.execREC(in)
@@ -257,8 +274,8 @@ func (m *Machine) execRCMP(in isa.Instr) error {
 		return fmt.Errorf("RCMP references unknown slice %d", in.SliceID)
 	}
 	addr := m.ReadReg(in.Src1) + uint64(in.Imm)
-	if addr&7 != 0 {
-		return fmt.Errorf("misaligned RCMP load at %#x", addr)
+	if err := mem.CheckAligned(addr); err != nil {
+		return fmt.Errorf("RCMP load: %w", err)
 	}
 	level := m.Hier.Peek(addr)
 
@@ -279,6 +296,7 @@ func (m *Machine) execRCMP(in isa.Instr) error {
 			m.Acct.AddProbe(m.Model, l)
 		}
 		v, err := m.traverse(si)
+		v ^= m.TamperRTN
 		if err == nil {
 			m.Stat.RcmpRecomputed++
 			m.Stat.SwappedServiced[level]++
@@ -359,8 +377,8 @@ func (m *Machine) traverse(si *compiler.SliceInfo) (uint64, error) {
 				return 0, fmt.Errorf("slice %d: non-read-only load in body", si.ID)
 			}
 			addr := ops[0] + uint64(bi.In.Imm)
-			if addr&7 != 0 {
-				return 0, fmt.Errorf("slice %d: misaligned body load", si.ID)
+			if err := mem.CheckAligned(addr); err != nil {
+				return 0, fmt.Errorf("slice %d: body load: %w", si.ID, err)
 			}
 			res := m.Hier.Access(addr, false)
 			m.chargeWritebacks(res)

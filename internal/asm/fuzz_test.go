@@ -1,0 +1,39 @@
+package asm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+)
+
+// FuzzAsmParse feeds arbitrary text to the assembler. Inputs that fail to
+// parse must do so with an error, never a panic; inputs that parse must
+// validate, format, and re-parse to the identical instruction stream
+// (Format/Parse is an exact round trip for amnesic-opcode-free programs,
+// and Parse can only produce such programs).
+func FuzzAsmParse(f *testing.F) {
+	f.Add("li r1, 42\nhalt\n")
+	f.Add("loop:\n    addi r1, r1, -1\n    blt r0, r1, loop\n    halt\n")
+	f.Add("lf r2, -3.25\nld r3, 8(r1)\nst r3, (r1)\nfma r4, r2, r3\nhalt\n")
+	f.Add("; comment only\n# another\n")
+	f.Add("beq r1, r2, nowhere\n")
+	f.Add("li r99, 1\n")
+	f.Add("x:\nx:\nhalt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed program fails validation: %v\ninput: %q", err, src)
+		}
+		q, err := asm.Parse("fuzz", asm.Format(p))
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\ntext:\n%s", err, asm.Format(p))
+		}
+		if !reflect.DeepEqual(p.Code, q.Code) {
+			t.Fatalf("format/parse round trip diverged\ninput: %q", src)
+		}
+	})
+}

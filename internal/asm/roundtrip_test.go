@@ -1,0 +1,118 @@
+package asm_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestFormatParseRoundTripWorkloads formats every workload program back to
+// text, re-parses it, and asserts instruction-level equality. Workload
+// programs exercise every text-expressible opcode, including float
+// immediates (li with IEEE-754 bit patterns) and forward/backward branches.
+func TestFormatParseRoundTripWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, _ := w.Build(0.1)
+			text := asm.Format(prog)
+			reparsed, err := asm.Parse(prog.Name, text)
+			if err != nil {
+				t.Fatalf("re-parse: %v\ntext:\n%s", err, text)
+			}
+			if !reflect.DeepEqual(prog.Code, reparsed.Code) {
+				for pc := range prog.Code {
+					if pc < len(reparsed.Code) && prog.Code[pc] != reparsed.Code[pc] {
+						t.Fatalf("pc %d: %+v != %+v", pc, prog.Code[pc], reparsed.Code[pc])
+					}
+				}
+				t.Fatalf("length mismatch: %d vs %d", len(prog.Code), len(reparsed.Code))
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTripBranches(t *testing.T) {
+	src := `
+start:
+    li   r1, 5
+    lf   r2, -3.25
+loop:
+    addi r1, r1, -1
+    blt  r0, r1, loop
+    beq  r1, r0, done
+    jmp  start
+done:
+    ld   r3, 8(r1)
+    st   r3, -16(r1)
+    fma  r4, r2, r2
+    halt
+`
+	p, err := asm.Parse("branches", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := asm.Parse("branches", asm.Format(p))
+	if err != nil {
+		t.Fatalf("re-parse: %v\ntext:\n%s", err, asm.Format(p))
+	}
+	if !reflect.DeepEqual(p.Code, q.Code) {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", asm.Format(p), asm.Format(q))
+	}
+}
+
+// TestFormatAmnesicOpcodesAreComments pins the documented round-trip
+// exception: annotated binaries render amnesic opcodes as comments.
+func TestFormatAmnesicOpcodesAreComments(t *testing.T) {
+	p := &isa.Program{Name: "ann", Code: []isa.Instr{
+		{Op: isa.RCMP, Dst: 1, Src1: 2, SliceID: 0, Target: 2},
+		{Op: isa.HALT},
+		{Op: isa.ADD, Dst: 1, Src1: 2, Src2: 3},
+		{Op: isa.RTN},
+	}}
+	text := asm.Format(p)
+	for _, want := range []string{"; rcmp", "; rtn"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := asm.Parse("ann", text); err != nil {
+		t.Fatalf("annotated listing must still parse (comments skipped): %v", err)
+	}
+}
+
+// TestBuilderErrorMessages pins the Builder's bad-input error paths: every
+// construction mistake a caller (including the program generator) can make
+// surfaces as a returned error from Assemble, never a panic.
+func TestBuilderErrorMessages(t *testing.T) {
+	t.Run("duplicate label", func(t *testing.T) {
+		b := asm.NewBuilder("dup")
+		b.Label("x").Nop().Label("x").Halt()
+		_, err := b.Assemble()
+		if err == nil || !strings.Contains(err.Error(), `label "x" defined twice`) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := asm.NewBuilder("undef")
+		b.Jmp("nowhere")
+		b.Halt()
+		_, err := b.Assemble()
+		if err == nil || !strings.Contains(err.Error(), `undefined label "nowhere"`) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("register out of range", func(t *testing.T) {
+		b := asm.NewBuilder("badreg")
+		b.Emit(isa.Instr{Op: isa.ADD, Dst: isa.Reg(200), Src1: 1, Src2: 2})
+		b.Halt()
+		_, err := b.Assemble()
+		if err == nil || !strings.Contains(err.Error(), "register out of range") {
+			t.Fatalf("got %v", err)
+		}
+	})
+}

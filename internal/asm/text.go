@@ -314,18 +314,45 @@ func parseMem(s string) (off int64, base isa.Reg, err error) {
 	return off, base, nil
 }
 
-// Format renders a program as parseable assembly text (amnesic opcodes are
-// rendered as comments since they have no text syntax).
+// Format renders a program as assembly text that Parse round-trips: for any
+// program free of amnesic opcodes, Parse(Format(p)) reproduces p.Code
+// exactly. Branch targets become synthesized labels (L<pc>) placed at the
+// target instruction. Amnesic opcodes (RCMP/RTN/REC) have no text syntax
+// and are rendered as comments, so annotated binaries format readably but
+// do not round-trip.
 func Format(p *isa.Program) string {
+	targets := make(map[int]bool)
+	for _, in := range p.Code {
+		if isBranchWithTarget(in.Op) {
+			targets[int(in.Imm)] = true
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; program %s (%d instructions)\n", p.Name, len(p.Code))
 	for pc, in := range p.Code {
+		if targets[pc] {
+			fmt.Fprintf(&sb, "L%d:\n", pc)
+		}
 		switch in.Op {
 		case isa.RCMP, isa.RTN, isa.REC:
-			fmt.Fprintf(&sb, "%4d:  ; %s\n", pc, in)
+			fmt.Fprintf(&sb, "    ; %s\n", in)
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			fmt.Fprintf(&sb, "    %s %s, %s, L%d\n", in.Op, in.Src1, in.Src2, in.Imm)
+		case isa.JMP:
+			fmt.Fprintf(&sb, "    jmp L%d\n", in.Imm)
 		default:
-			fmt.Fprintf(&sb, "%4d:  %s\n", pc, in)
+			fmt.Fprintf(&sb, "    %s\n", in)
 		}
 	}
 	return sb.String()
+}
+
+// isBranchWithTarget reports whether op's Imm is an absolute branch target
+// that Format must label (RCMP's Target field has no text syntax).
+func isBranchWithTarget(op isa.Op) bool {
+	switch op {
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.JMP:
+		return true
+	}
+	return false
 }

@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+// TestMisalignedAccessReturnsError pins the contract the fuzzing subsystem
+// leans on: a program computing a misaligned address gets a typed error
+// back from Run — wrapping mem.ErrMisaligned, naming the direction and the
+// address — and never a panic out of the memory accessors.
+func TestMisalignedAccessReturnsError(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"load", "li r1, 12\nld r2, 0(r1)\nhalt\n", "load: misaligned address 0xc"},
+		{"store", "li r1, 16\nst r1, 3(r1)\nhalt\n", "store: misaligned address 0x13"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Parse(tc.name, tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunProgram(energy.Default(), p, mem.NewMemory())
+			if err == nil {
+				t.Fatal("misaligned access succeeded")
+			}
+			if !errors.Is(err, mem.ErrMisaligned) {
+				t.Errorf("error does not wrap mem.ErrMisaligned: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckAlignedMessage(t *testing.T) {
+	err := mem.CheckAligned(0x1001)
+	if err == nil || err.Error() != "misaligned address 0x1001" {
+		t.Fatalf("got %v", err)
+	}
+	if mem.CheckAligned(0x1000) != nil {
+		t.Fatal("aligned address rejected")
+	}
+}

@@ -159,8 +159,8 @@ func (c *Core) stepFast(in isa.Instr) (halt bool, err error) {
 		c.PC++
 	case in.Op == isa.LD:
 		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned load at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("load: %w", err)
 		}
 		res := c.Hier.Access(addr, false)
 		c.chargeWritebacks(res)
@@ -169,8 +169,8 @@ func (c *Core) stepFast(in isa.Instr) (halt bool, err error) {
 		c.PC++
 	case in.Op == isa.ST:
 		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned store at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("store: %w", err)
 		}
 		res := c.Hier.Access(addr, true)
 		c.chargeWritebacks(res)
@@ -214,8 +214,8 @@ func (c *Core) Step(in isa.Instr) (halt bool, err error) {
 		c.PC++
 	case in.Op == isa.LD:
 		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned load at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("load: %w", err)
 		}
 		res := c.Hier.Access(addr, false)
 		c.chargeWritebacks(res)
@@ -229,8 +229,8 @@ func (c *Core) Step(in isa.Instr) (halt bool, err error) {
 		return false, nil
 	case in.Op == isa.ST:
 		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if addr&7 != 0 {
-			return false, fmt.Errorf("misaligned store at %#x", addr)
+		if err := mem.CheckAligned(addr); err != nil {
+			return false, fmt.Errorf("store: %w", err)
 		}
 		res := c.Hier.Access(addr, true)
 		c.chargeWritebacks(res)

@@ -1,0 +1,381 @@
+// Package difftest is the differential-execution oracle: it runs one
+// program through three independent implementations of the architecture —
+// a flat reference interpreter with no cache hierarchy, the classic
+// hierarchy-coupled core, and the amnesic machine under every evaluation
+// policy — and demands bit-identical final register files, memory images,
+// and store streams. Amnesic execution is a semantics-preserving energy
+// optimization (paper §3), so ANY divergence is a bug in the transformation
+// or the machine, never an accepted approximation.
+//
+// Programs come from the seeded generator in internal/gen, so a failure is
+// fully described by its seed. CheckSeed shrinks failing programs by
+// NOP-substitution (length-preserving, so branch targets survive) and
+// reports a replayable *Divergence.
+//
+// Two metamorphic invariant families ride along with every check:
+//
+//   - cache hierarchy: the hierarchy is a pure timing/energy model, so the
+//     classic core's architectural state must equal the flat replay;
+//   - energy accounting: every account satisfies Account.CheckConsistency,
+//     and the classic account additionally satisfies the per-category
+//     EPI·count identity (E_nonmem = Σ count·EPI, E_fetch = Instrs·EPI).
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/gen"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+)
+
+// PolicyLabels names the five evaluation policies of paper §5.1, in report
+// order. Each one is exercised per checked program.
+var PolicyLabels = []string{"Oracle", "C-Oracle", "Compiler", "FLC", "LLC"}
+
+// Options configures one differential check. Start from DefaultOptions.
+type Options struct {
+	Model    *energy.Model
+	Gen      gen.Config
+	Compiler compiler.Options
+	Uarch    uarch.Config
+	// MaxInstrs bounds every execution (reference, classic, amnesic).
+	MaxInstrs uint64
+	// Policies defaults to PolicyLabels.
+	Policies []string
+	// TamperRTN is forwarded to every amnesic machine; non-zero corrupts
+	// RTN value copies so tests can prove the oracle catches real bugs.
+	TamperRTN uint64
+	// Shrink minimizes failing programs before reporting (CheckSeed only).
+	Shrink bool
+}
+
+// DefaultOptions returns the configuration the test suite and CI use.
+func DefaultOptions() Options {
+	return Options{
+		Model:     energy.Default(),
+		Gen:       gen.DefaultConfig(),
+		Compiler:  compiler.DefaultOptions(),
+		Uarch:     uarch.DefaultConfig(),
+		MaxInstrs: 2_000_000,
+		Policies:  PolicyLabels,
+		Shrink:    true,
+	}
+}
+
+// StoreEvent is one architectural store in retirement order.
+type StoreEvent struct {
+	Addr, Val uint64
+}
+
+// Divergence reports a failed differential check: the two implementations
+// disagreed, or an internal invariant broke. It is an error; infrastructure
+// problems (bad generator config, etc.) are returned as plain errors
+// instead, so errors.As distinguishes "bug found" from "could not test".
+type Divergence struct {
+	// Seed replays the failure via gen.Generate; -1 when the program did
+	// not come from the generator.
+	Seed int64
+	// Stage names the comparison that failed (e.g. "policy FLC").
+	Stage string
+	// Detail describes the first observed mismatch.
+	Detail string
+	// Program is the offending program, minimized when shrinking ran.
+	Program *isa.Program
+	// Initial is the program's initial memory image.
+	Initial *mem.Memory
+}
+
+func (d *Divergence) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "difftest: divergence at stage %q: %s", d.Stage, d.Detail)
+	if d.Program != nil {
+		live := 0
+		for _, in := range d.Program.Code {
+			if in.Op != isa.NOP {
+				live++
+			}
+		}
+		fmt.Fprintf(&sb, "\nminimized program (%d live of %d instructions):\n%s",
+			live, len(d.Program.Code), asm.Format(d.Program))
+	}
+	if d.Seed >= 0 {
+		fmt.Fprintf(&sb, "replay: go test ./internal/difftest -run TestDiffOracle -difftest.seed=%d", d.Seed)
+	}
+	return sb.String()
+}
+
+// CheckSeed generates the program for seed and differentially checks it.
+// On divergence the returned *Divergence carries the seed and (when
+// opts.Shrink) a minimized program.
+func CheckSeed(seed int64, opts Options) error {
+	prog, initial, err := gen.Generate(seed, opts.Gen)
+	if err != nil {
+		return err
+	}
+	err = Check(prog, initial, opts)
+	var d *Divergence
+	if errors.As(err, &d) {
+		d.Seed = seed
+		if opts.Shrink {
+			d.Program = Shrink(prog, initial, opts)
+		}
+	}
+	return err
+}
+
+// Check runs the full differential pipeline over one program: flat
+// reference, classic core, profile, compile (probabilistic and oracle
+// binaries), then the amnesic machine under each policy. The first
+// mismatch is returned as a *Divergence.
+func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
+	if opts.Model == nil || opts.MaxInstrs == 0 {
+		return fmt.Errorf("difftest: incomplete options (start from DefaultOptions)")
+	}
+	policies := opts.Policies
+	if len(policies) == 0 {
+		policies = PolicyLabels
+	}
+	diverge := func(stage, format string, args ...any) *Divergence {
+		return &Divergence{
+			Seed: -1, Stage: stage, Detail: fmt.Sprintf(format, args...),
+			Program: prog, Initial: initial,
+		}
+	}
+
+	ref, err := runReference(prog, initial.Clone(), opts.MaxInstrs)
+	if err != nil {
+		return fmt.Errorf("difftest: reference: %w", err)
+	}
+
+	core := cpu.New(opts.Model, mem.NewDefaultHierarchy(), initial.Clone())
+	core.MaxInstrs = opts.MaxInstrs
+	var classicStores []StoreEvent
+	core.Hook = func(ev cpu.Event) {
+		if ev.In.Op == isa.ST {
+			classicStores = append(classicStores, StoreEvent{ev.Addr, ev.Value})
+		}
+	}
+	if err := core.Run(prog); err != nil {
+		// The reference completed, so the identical program must complete
+		// on the classic core too.
+		return diverge("classic execution", "reference halted but classic core failed: %v", err)
+	}
+	if d := compareState("classic-vs-reference", "flat-memory replay", ref, core.Regs, core.Mem, classicStores, prog, initial); d != nil {
+		return d
+	}
+	if err := core.Acct.CheckConsistency(); err != nil {
+		return diverge("classic energy account", "%v", err)
+	}
+	if err := checkClassicEPI(opts.Model, &core.Acct); err != nil {
+		return diverge("classic energy account", "%v", err)
+	}
+
+	prof, err := profile.Collect(opts.Model, prog, initial)
+	if err != nil {
+		return diverge("profile", "profiling a program the reference executed cleanly failed: %v", err)
+	}
+	ann, err := compiler.Compile(opts.Model, prog, prof, initial, opts.Compiler)
+	if err != nil {
+		return diverge("compile", "probabilistic compile failed: %v", err)
+	}
+	oracleOpts := opts.Compiler
+	oracleOpts.Mode = compiler.ModeOracleAll
+	oracleAnn, err := compiler.Compile(opts.Model, prog, prof, initial, oracleOpts)
+	if err != nil {
+		return diverge("compile", "oracle compile failed: %v", err)
+	}
+
+	for _, label := range policies {
+		bin, kind := policyBinary(label, ann, oracleAnn)
+		m, err := amnesic.New(opts.Model, bin, initial.Clone(), policy.New(kind), opts.Uarch)
+		if err != nil {
+			return diverge("policy "+label, "machine construction failed: %v", err)
+		}
+		m.MaxInstrs = opts.MaxInstrs
+		m.TamperRTN = opts.TamperRTN
+		var stores []StoreEvent
+		m.StoreHook = func(addr, val uint64) {
+			stores = append(stores, StoreEvent{addr, val})
+		}
+		if err := m.Run(); err != nil {
+			return diverge("policy "+label, "amnesic run failed where classic succeeded: %v", err)
+		}
+		if d := compareState("policy "+label, "classic baseline", ref, m.Regs, m.Mem, stores, prog, initial); d != nil {
+			return d
+		}
+		if err := m.Acct.CheckConsistency(); err != nil {
+			return diverge("policy "+label+" energy account", "%v", err)
+		}
+		if st := m.Stat; st.RcmpTotal != st.RcmpRecomputed+st.RcmpLoaded {
+			return diverge("policy "+label, "RCMP accounting: %d total != %d recomputed + %d loaded",
+				st.RcmpTotal, st.RcmpRecomputed, st.RcmpLoaded)
+		}
+	}
+	return nil
+}
+
+// policyBinary maps a policy label to the binary it executes and its
+// runtime decision kind, mirroring the evaluation harness (paper §5.1).
+func policyBinary(label string, ann, oracleAnn *compiler.Annotated) (*compiler.Annotated, policy.Kind) {
+	switch label {
+	case "Oracle":
+		return oracleAnn, policy.Exact
+	case "C-Oracle":
+		return ann, policy.Exact
+	case "FLC":
+		return ann, policy.FLC
+	case "LLC":
+		return ann, policy.LLC
+	default: // "Compiler"
+		return ann, policy.Compiler
+	}
+}
+
+// refResult is the flat interpreter's final architectural state.
+type refResult struct {
+	Regs   [isa.NumRegs]uint64
+	Mem    *mem.Memory
+	Stores []StoreEvent
+}
+
+// runReference interprets p over m with no cache hierarchy, no energy
+// accounting, and no amnesic anything: the simplest possible executable
+// semantics of the classic ISA. It deliberately shares only isa.EvalCompute
+// and isa.BranchTaken with the production cores, so a bug in either core's
+// dispatch loop shows up as a divergence rather than agreeing with itself.
+func runReference(p *isa.Program, m *mem.Memory, max uint64) (*refResult, error) {
+	var regs [isa.NumRegs]uint64
+	read := func(r isa.Reg) uint64 {
+		if r == isa.R0 {
+			return 0
+		}
+		return regs[r]
+	}
+	write := func(r isa.Reg, v uint64) {
+		if r != isa.R0 {
+			regs[r] = v
+		}
+	}
+	var stores []StoreEvent
+	pc := 0
+	for steps := uint64(0); ; steps++ {
+		if pc < 0 || pc >= len(p.Code) {
+			return nil, fmt.Errorf("pc %d out of range (%d instrs)", pc, len(p.Code))
+		}
+		if steps >= max {
+			return nil, fmt.Errorf("instruction budget exceeded (%d)", max)
+		}
+		in := p.Code[pc]
+		switch {
+		case in.Op == isa.NOP:
+			pc++
+		case isa.Recomputable(in.Op):
+			write(in.Dst, isa.EvalCompute(in, read(in.Src1), read(in.Src2), read(in.Dst)))
+			pc++
+		case in.Op == isa.LD:
+			addr := read(in.Src1) + uint64(in.Imm)
+			if err := mem.CheckAligned(addr); err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			write(in.Dst, m.Load(addr))
+			pc++
+		case in.Op == isa.ST:
+			addr := read(in.Src1) + uint64(in.Imm)
+			if err := mem.CheckAligned(addr); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			v := read(in.Src2)
+			m.Store(addr, v)
+			stores = append(stores, StoreEvent{addr, v})
+			pc++
+		case in.Op == isa.HALT:
+			return &refResult{Regs: regs, Mem: m, Stores: stores}, nil
+		case in.Op == isa.JMP:
+			pc = int(in.Imm)
+		case in.Op == isa.BEQ, in.Op == isa.BNE, in.Op == isa.BLT, in.Op == isa.BGE:
+			if isa.BranchTaken(in.Op, read(in.Src1), read(in.Src2)) {
+				pc = int(in.Imm)
+			} else {
+				pc++
+			}
+		default:
+			return nil, fmt.Errorf("op %s has no reference semantics", in.Op)
+		}
+	}
+}
+
+// compareState checks final registers, memory image, and store stream
+// against the reference, returning a *Divergence naming the first mismatch.
+func compareState(stage, against string, ref *refResult, regs [isa.NumRegs]uint64, memory *mem.Memory, stores []StoreEvent, prog *isa.Program, initial *mem.Memory) *Divergence {
+	diverge := func(format string, args ...any) *Divergence {
+		return &Divergence{
+			Seed: -1, Stage: stage,
+			Detail:  fmt.Sprintf("vs %s: ", against) + fmt.Sprintf(format, args...),
+			Program: prog, Initial: initial,
+		}
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != ref.Regs[r] {
+			return diverge("r%d = %#x, want %#x", r, regs[r], ref.Regs[r])
+		}
+	}
+	if !memory.Equal(ref.Mem) {
+		addrs := memory.Diff(ref.Mem, 4)
+		parts := make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			parts = append(parts, fmt.Sprintf("[%#x] = %#x, want %#x", a, memory.Load(a), ref.Mem.Load(a)))
+		}
+		return diverge("memory differs: %s", strings.Join(parts, "; "))
+	}
+	if len(stores) != len(ref.Stores) {
+		return diverge("store stream has %d events, want %d", len(stores), len(ref.Stores))
+	}
+	for i := range stores {
+		if stores[i] != ref.Stores[i] {
+			return diverge("store #%d is [%#x] <- %#x, want [%#x] <- %#x",
+				i, stores[i].Addr, stores[i].Val, ref.Stores[i].Addr, ref.Stores[i].Val)
+		}
+	}
+	return nil
+}
+
+// checkClassicEPI verifies the classic run's per-category energy identity:
+// non-memory energy is exactly Σ count·EPI over non-memory categories, and
+// fetch energy is exactly Instrs·EPI_fetch. (Load/store energy depends on
+// the servicing level, so those buckets are covered by CheckConsistency's
+// sum identity instead.) Only classic runs satisfy this — the amnesic
+// machine charges RCMP overheads through AddOverhead, which lands in the
+// non-mem bucket without a category count.
+func checkClassicEPI(m *energy.Model, a *energy.Account) error {
+	tol := 1e-6 * (1 + math.Abs(a.EnergyNJ))
+	var nonmem float64
+	for cat := isa.Category(0); cat < isa.NumCategories; cat++ {
+		if cat == isa.CatLoad || cat == isa.CatStore {
+			continue
+		}
+		nonmem += float64(a.ByCategory[cat]) * m.InstrEnergy(cat)
+	}
+	if math.Abs(nonmem-a.NonMemNJ) > tol {
+		return fmt.Errorf("energy: Σ count·EPI over non-mem categories is %.9g nJ, account says %.9g nJ", nonmem, a.NonMemNJ)
+	}
+	if fetch := float64(a.Instrs) * m.FetchEnergy; math.Abs(fetch-a.FetchNJ) > tol {
+		return fmt.Errorf("energy: %d instrs × fetch EPI is %.9g nJ, account says %.9g nJ", a.Instrs, fetch, a.FetchNJ)
+	}
+	if a.Loads != a.ByCategory[isa.CatLoad] || a.Stores != a.ByCategory[isa.CatStore] {
+		return fmt.Errorf("energy: load/store counts (%d/%d) disagree with categories (%d/%d)",
+			a.Loads, a.Stores, a.ByCategory[isa.CatLoad], a.ByCategory[isa.CatStore])
+	}
+	return nil
+}

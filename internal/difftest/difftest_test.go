@@ -1,0 +1,159 @@
+package difftest
+
+import (
+	"errors"
+	"flag"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/gen"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+)
+
+var (
+	seedFlag = flag.Int64("difftest.seed", -1,
+		"replay one generator seed through the differential oracle (from a Divergence report)")
+	seedCount = flag.Int("difftest.n", 500,
+		"number of generator seeds TestDiffOracle checks")
+)
+
+// TestDiffOracle is the main oracle sweep: N seeded random programs, each
+// executed by the flat reference, the classic core, and the amnesic machine
+// under all five policies, asserting identical final register files, memory
+// images, and store streams. With -difftest.seed=N it replays exactly one
+// reported seed instead.
+func TestDiffOracle(t *testing.T) {
+	opts := DefaultOptions()
+	if *seedFlag >= 0 {
+		if err := CheckSeed(*seedFlag, opts); err != nil {
+			t.Fatalf("seed %d: %v", *seedFlag, err)
+		}
+		return
+	}
+	n := *seedCount
+	if testing.Short() {
+		n = 100
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failed  []error
+		workers = runtime.GOMAXPROCS(0)
+		seeds   = make(chan int64, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if err := CheckSeed(seed, opts); err != nil {
+					mu.Lock()
+					failed = append(failed, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+	for _, err := range failed {
+		t.Error(err)
+	}
+	if len(failed) == 0 {
+		t.Logf("%d seeds: classic and amnesic agree under all %d policies", n, len(opts.Policies))
+	}
+}
+
+// TestTamperedRTNCaught is the oracle's negative control: corrupt every
+// value an RTN copies into the eliminated load's destination register and
+// demand the oracle notices. An oracle that cannot catch a deliberately
+// broken RTN would be vacuous.
+func TestTamperedRTNCaught(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TamperRTN = 0xDEADBEEF
+	for seed := int64(0); seed < 200; seed++ {
+		err := CheckSeed(seed, opts)
+		if err == nil {
+			continue // no recomputation fired on this seed, or the tampered value washed out
+		}
+		var d *Divergence
+		if !errors.As(err, &d) {
+			t.Fatalf("seed %d: want *Divergence, got %v", seed, err)
+		}
+		if d.Seed != seed {
+			t.Errorf("divergence carries seed %d, want %d", d.Seed, seed)
+		}
+		msg := err.Error()
+		for _, want := range []string{"difftest: divergence", "minimized program", "replay: go test"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report missing %q:\n%s", want, msg)
+			}
+		}
+		return
+	}
+	t.Fatal("tampered RTN survived 200 seeds: the oracle is not sensitive to broken value copies")
+}
+
+// TestShrinkMinimizes checks that the reported program for a tampered run
+// is genuinely smaller than the original and still diverges on its own.
+func TestShrinkMinimizes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TamperRTN = 1
+	opts.Shrink = false
+	for seed := int64(0); seed < 200; seed++ {
+		prog, initial, err := gen.Generate(seed, opts.Gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Check(prog, initial, opts) == nil {
+			continue
+		}
+		small := Shrink(prog, initial, opts)
+		if len(small.Code) != len(prog.Code) {
+			t.Fatalf("shrinking must preserve program length (%d -> %d)", len(prog.Code), len(small.Code))
+		}
+		orig, live := countLive(prog), countLive(small)
+		if live >= orig {
+			t.Errorf("seed %d: shrink kept %d live instructions of %d", seed, live, orig)
+		}
+		var d *Divergence
+		if !errors.As(Check(small, initial, opts), &d) {
+			t.Fatalf("seed %d: minimized program no longer diverges", seed)
+		}
+		t.Logf("seed %d: shrunk %d -> %d live instructions", seed, orig, live)
+		return
+	}
+	t.Fatal("no tampered seed diverged in 200 tries")
+}
+
+func countLive(p *isa.Program) int {
+	n := 0
+	for _, in := range p.Code {
+		if in.Op != isa.NOP {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCheckRejectsIncompleteOptions pins the plain-error (not Divergence)
+// path for infrastructure misuse.
+func TestCheckRejectsIncompleteOptions(t *testing.T) {
+	prog, initial, err := gen.Generate(1, gen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Check(prog, initial, Options{})
+	if err == nil {
+		t.Fatal("zero options accepted")
+	}
+	var d *Divergence
+	if errors.As(err, &d) {
+		t.Fatalf("infrastructure error misreported as divergence: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"errors"
+
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+// Shrink minimizes a diverging program by delta debugging over instruction
+// runs: it replaces chunks with NOPs and keeps any mutation that still
+// diverges, halving the chunk size until single instructions were tried.
+// NOP substitution (rather than deletion) preserves program length, so
+// absolute branch targets stay valid and no fixup pass is needed. The
+// shrinking predicate is "Check returns *Divergence": mutations that break
+// the program in boring ways (NOP-ing a loop decrement exhausts the
+// instruction budget, NOP-ing HALT runs off the end) return plain errors
+// and are reverted.
+func Shrink(prog *isa.Program, initial *mem.Memory, opts Options) *isa.Program {
+	opts.Shrink = false
+	diverges := func(p *isa.Program) bool {
+		var d *Divergence
+		return errors.As(Check(p, initial, opts), &d)
+	}
+	cur := prog.Clone()
+	if !diverges(cur) {
+		// Not reproducible under the minimization predicate (e.g. the
+		// divergence needed the original options); report it unshrunk.
+		return cur
+	}
+	for chunk := len(cur.Code) / 2; chunk >= 1; {
+		improved := false
+		for start := 0; start < len(cur.Code); start += chunk {
+			end := start + chunk
+			if end > len(cur.Code) {
+				end = len(cur.Code)
+			}
+			cand := cur.Clone()
+			allNop := true
+			for i := start; i < end; i++ {
+				if cand.Code[i].Op != isa.NOP {
+					allNop = false
+				}
+				cand.Code[i] = isa.Instr{Op: isa.NOP}
+			}
+			if allNop {
+				continue
+			}
+			if diverges(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		if !improved {
+			chunk /= 2
+		}
+	}
+	return cur
+}

@@ -7,6 +7,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/amnesiac-sim/amnesiac/internal/isa"
 )
@@ -290,6 +291,31 @@ func (a *Account) AddHistWrite(m *Model) {
 
 // EDP returns the energy-delay product in nJ·ns.
 func (a *Account) EDP() float64 { return a.EnergyNJ * a.TimeNS }
+
+// CheckConsistency verifies the account's internal bookkeeping invariants:
+// every charged nanojoule is attributed to exactly one source bucket
+// (E_total = load + store + non-mem + hist-read + fetch; probe energy is a
+// sub-bucket of load), and every counted dynamic instruction carries exactly
+// one category. The differential tester asserts these after every
+// simulation as a metamorphic energy invariant.
+func (a *Account) CheckConsistency() error {
+	var byCat uint64
+	for _, n := range a.ByCategory {
+		byCat += n
+	}
+	if byCat != a.Instrs {
+		return fmt.Errorf("energy: category counts sum to %d, %d instructions retired", byCat, a.Instrs)
+	}
+	sum := a.LoadNJ + a.StoreNJ + a.NonMemNJ + a.HistReadNJ + a.FetchNJ
+	tol := 1e-6 * (1 + math.Abs(a.EnergyNJ))
+	if math.Abs(sum-a.EnergyNJ) > tol {
+		return fmt.Errorf("energy: source buckets sum to %.9g nJ, total is %.9g nJ", sum, a.EnergyNJ)
+	}
+	if a.ProbeNJ > a.LoadNJ+tol {
+		return fmt.Errorf("energy: probe energy %.9g nJ exceeds its parent load bucket %.9g nJ", a.ProbeNJ, a.LoadNJ)
+	}
+	return nil
+}
 
 // Add merges o into a (counts and energies; used to combine phases).
 func (a *Account) Add(o *Account) {

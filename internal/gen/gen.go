@@ -1,0 +1,316 @@
+// Package gen is a seeded random program generator over the full classic
+// ISA, built for differential testing of the amnesic transformation. Every
+// generated program is well formed by construction:
+//
+//   - it passes isa.Program.Validate (the asm.Builder resolves all labels);
+//   - every memory access is 8-byte aligned and lands in a bounded arena,
+//     enforced by masking address material with a power-of-two mask whose
+//     low three bits are zero;
+//   - it terminates within a small dynamic budget: loops are counted with
+//     dedicated counter registers the loop body never writes, and all other
+//     branches are strictly forward.
+//
+// The register file is partitioned so the random instruction mix cannot
+// violate those invariants: r1–r20 are scratch (arbitrary values), r21–r24
+// hold arena addresses, r25–r26 are loop counters (one per nesting depth),
+// r27–r28 hold stable inputs, r29 holds the arena alignment mask, and r30
+// the arena base. The generator deliberately emits producer→store→load
+// chains over arena addresses so the amnesic compiler finds recomputation
+// slices to swap, not just straight-line ALU noise.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+)
+
+// Config bounds the shape of generated programs. The zero value is not
+// useful; start from DefaultConfig.
+type Config struct {
+	// Statements is the number of top-level statements (a statement expands
+	// to one motif: an ALU chain, a load/store, a guarded block, a loop…).
+	Statements int
+	// ArenaWords is the data arena size in 8-byte words; rounded up to a
+	// power of two so an AND mask keeps addresses in bounds.
+	ArenaWords int
+	// MaxDepth bounds loop nesting (one dedicated counter register per
+	// level, so at most 2 with the current register partition).
+	MaxDepth int
+	// MaxTrip bounds each loop's trip count.
+	MaxTrip int
+}
+
+// DefaultConfig generates ~40-statement programs over a 2 KiB arena with
+// doubly nested loops of at most 5 iterations: a few hundred to a few tens
+// of thousands of dynamic instructions.
+func DefaultConfig() Config {
+	return Config{Statements: 40, ArenaWords: 256, MaxDepth: 2, MaxTrip: 5}
+}
+
+// Register partition. See the package comment.
+const (
+	scratchLo   = 1
+	scratchHi   = 20
+	addrLo      = 21
+	addrHi      = 24
+	counterBase = 25 // r25 at depth 0, r26 at depth 1
+	stableLo    = 27
+	stableHi    = 28
+	maskReg     = isa.Reg(29)
+	baseReg     = isa.Reg(30)
+)
+
+// ArenaBase is the byte address of the data arena.
+const ArenaBase = 0x10000
+
+// Generate builds the program and initial memory image for a seed. Equal
+// (seed, cfg) pairs always produce identical output, so a seed is a
+// complete replayable description of a test case.
+func Generate(seed int64, cfg Config) (*isa.Program, *mem.Memory, error) {
+	if cfg.Statements <= 0 || cfg.ArenaWords <= 0 || cfg.MaxTrip <= 0 {
+		return nil, nil, fmt.Errorf("gen: non-positive config %+v", cfg)
+	}
+	words := 1
+	for words < cfg.ArenaWords {
+		words <<= 1
+	}
+	if cfg.MaxDepth > 2 {
+		cfg.MaxDepth = 2 // one counter register per level
+	}
+	g := &generator{
+		rng: rand.New(rand.NewSource(seed)),
+		b:   asm.NewBuilder(fmt.Sprintf("gen-%d", seed)),
+		cfg: cfg,
+		// arenaBytes-8 has zero low bits, so AND-ing any value with it
+		// yields an aligned in-arena offset.
+		mask: int64(words*8 - 8),
+	}
+
+	initial := mem.NewMemory()
+	for i := 0; i < words; i++ {
+		initial.Store(ArenaBase+uint64(i)*8, g.word())
+	}
+
+	g.prologue()
+	for i := 0; i < cfg.Statements; i++ {
+		g.statement(0)
+	}
+	g.b.Halt()
+
+	prog, err := g.b.Assemble()
+	if err != nil {
+		return nil, nil, fmt.Errorf("gen: seed %d: %w", seed, err)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("gen: seed %d: generated invalid program: %w", seed, err)
+	}
+	return prog, initial, nil
+}
+
+type generator struct {
+	rng    *rand.Rand
+	b      *asm.Builder
+	cfg    Config
+	mask   int64
+	labels int
+}
+
+func (g *generator) label() string {
+	g.labels++
+	return fmt.Sprintf("s%d", g.labels)
+}
+
+func (g *generator) scratch() isa.Reg {
+	return isa.Reg(scratchLo + g.rng.Intn(scratchHi-scratchLo+1))
+}
+
+func (g *generator) addrReg() isa.Reg {
+	return isa.Reg(addrLo + g.rng.Intn(addrHi-addrLo+1))
+}
+
+// src picks a readable register: scratch, stable input, or the zero reg.
+func (g *generator) src() isa.Reg {
+	switch g.rng.Intn(8) {
+	case 0:
+		return isa.R0
+	case 1:
+		return isa.Reg(stableLo + g.rng.Intn(stableHi-stableLo+1))
+	default:
+		return g.scratch()
+	}
+}
+
+// word produces a 64-bit value biased toward arithmetic edge cases:
+// zero, ±1, small counters, extreme two's-complement values, IEEE-754
+// specials, and uniform bits.
+func (g *generator) word() uint64 {
+	switch g.rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return ^uint64(0) // -1
+	case 3:
+		return uint64(g.rng.Intn(64))
+	case 4:
+		return 1 << 63 // math.MinInt64
+	case 5:
+		return 1<<63 - 1 // math.MaxInt64
+	case 6:
+		return 0x3FF0000000000000 // float64(1.0)
+	case 7:
+		return 0x7FF0000000000000 // +Inf
+	default:
+		return g.rng.Uint64()
+	}
+}
+
+// prologue seeds the register file (cores start zeroed): the arena mask and
+// base, the stable inputs, and a spread of scratch values.
+func (g *generator) prologue() {
+	g.b.Li(maskReg, g.mask)
+	g.b.Li(baseReg, ArenaBase)
+	for r := stableLo; r <= stableHi; r++ {
+		g.b.Li(isa.Reg(r), int64(g.word()))
+	}
+	for r := scratchLo; r <= scratchHi; r++ {
+		g.b.Li(isa.Reg(r), int64(g.word()))
+	}
+	for r := addrLo; r <= addrHi; r++ {
+		g.pointAt(isa.Reg(r))
+	}
+}
+
+// pointAt sets rA to an aligned in-arena address derived from random
+// register material: rA = base + (src & mask).
+func (g *generator) pointAt(rA isa.Reg) {
+	t := g.scratch()
+	g.b.And(t, g.src(), maskReg)
+	g.b.Add(rA, baseReg, t)
+}
+
+// statement emits one random motif at the given loop depth.
+func (g *generator) statement(depth int) {
+	switch g.rng.Intn(12) {
+	case 0, 1, 2, 3:
+		g.aluChain()
+	case 4:
+		g.store()
+	case 5:
+		g.load()
+	case 6, 7:
+		g.producerConsumer()
+	case 8:
+		g.forwardSkip(depth)
+	case 9:
+		if depth < g.cfg.MaxDepth {
+			g.loop(depth)
+		} else {
+			g.aluChain()
+		}
+	case 10:
+		g.pointAt(g.addrReg())
+	default:
+		g.immediate()
+	}
+}
+
+// aluPool is every compute opcode the generator draws from — the full
+// recomputable set plus DIV/REM (total in this ISA: x/0 = x%0 = 0).
+var aluPool3 = []isa.Op{
+	isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+	isa.SHL, isa.SHR, isa.SLT, isa.SEQ,
+	isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMA, isa.FMIN, isa.FMAX,
+}
+
+var aluPool2 = []isa.Op{isa.MOV, isa.FNEG, isa.FSQRT, isa.FABS, isa.I2F, isa.F2I}
+
+func (g *generator) aluOp(dst isa.Reg) {
+	if g.rng.Intn(4) == 0 {
+		op := aluPool2[g.rng.Intn(len(aluPool2))]
+		g.b.Emit(isa.Instr{Op: op, Dst: dst, Src1: g.src()})
+		return
+	}
+	op := aluPool3[g.rng.Intn(len(aluPool3))]
+	g.b.Emit(isa.Instr{Op: op, Dst: dst, Src1: g.src(), Src2: g.src()})
+}
+
+func (g *generator) aluChain() {
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.aluOp(g.scratch())
+	}
+}
+
+func (g *generator) immediate() {
+	if g.rng.Intn(3) == 0 {
+		g.b.Addi(g.scratch(), g.src(), int64(g.word()))
+		return
+	}
+	g.b.Li(g.scratch(), int64(g.word()))
+}
+
+// off picks a small aligned displacement; the arena is followed by slack
+// pages, so base+mask+off stays harmless (memory is sparse and unbounded,
+// the mask only bounds the hot working set).
+func (g *generator) off() int64 { return int64(g.rng.Intn(4)) * 8 }
+
+func (g *generator) store() {
+	g.b.St(g.addrReg(), g.off(), g.src())
+}
+
+func (g *generator) load() {
+	g.b.Ld(g.scratch(), g.addrReg(), g.off())
+}
+
+// producerConsumer emits the motif the amnesic compiler feeds on: a short
+// recomputable chain into a value register, a store of that value, some
+// interleaved noise, then a load from the stored address. The load's
+// dominant producer is the chain, so the compiler can grow a slice for it.
+func (g *generator) producerConsumer() {
+	v := g.scratch()
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.aluOp(v)
+	}
+	rA := g.addrReg()
+	off := g.off()
+	g.b.St(rA, off, v)
+	if g.rng.Intn(2) == 0 {
+		g.aluChain()
+	}
+	g.b.Ld(g.scratch(), rA, off)
+}
+
+func (g *generator) forwardSkip(depth int) {
+	done := g.label()
+	ops := []func(s1, s2 isa.Reg, l string) *asm.Builder{g.b.Beq, g.b.Bne, g.b.Blt, g.b.Bge}
+	ops[g.rng.Intn(len(ops))](g.src(), g.src(), done)
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		g.statement(depth)
+	}
+	g.b.Label(done)
+}
+
+// loop emits a counted loop. The counter register is dedicated to this
+// nesting depth and no motif ever writes counter registers, so the
+// decrement below is the counter's only writer and the loop terminates.
+func (g *generator) loop(depth int) {
+	cnt := isa.Reg(counterBase + depth)
+	trip := 1 + g.rng.Intn(g.cfg.MaxTrip)
+	top := g.label()
+	g.b.Li(cnt, int64(trip))
+	g.b.Label(top)
+	n := 2 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.statement(depth + 1)
+	}
+	g.b.Addi(cnt, cnt, -1)
+	g.b.Bne(cnt, isa.R0, top)
+}

@@ -1,0 +1,98 @@
+package harness_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden report files from current output")
+
+// goldenWorkloads is the fixed benchmark subset the golden reports pin.
+// Two responsive benchmarks keep the runtime low while exercising slices.
+func goldenWorkloads(t *testing.T) []*workloads.Workload {
+	t.Helper()
+	var ws []*workloads.Workload
+	for _, name := range []string{"bfs", "sr"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/harness -run TestGolden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden output.\nIf the change is intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenReport pins the full evaluation report — model constants
+// (Table 3), EDP/energy/time gains (Figs. 3-5), the energy breakdown
+// (Table 4), the swapped-loads profile (Table 5), and the summary — for a
+// fixed config, byte for byte. Simulation is deterministic by design (the
+// parallel scheduler included), so any diff is a behavior change that must
+// be reviewed, not noise.
+func TestGoldenReport(t *testing.T) {
+	cfg := smallConfig()
+	results, err := harness.RunSuite(cfg, goldenWorkloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	harness.Table3(&buf, cfg.Model)
+	fmt.Fprintln(&buf)
+	harness.Fig3(&buf, results)
+	fmt.Fprintln(&buf)
+	harness.Fig4(&buf, results)
+	fmt.Fprintln(&buf)
+	harness.Fig5(&buf, results)
+	fmt.Fprintln(&buf)
+	harness.Table4(&buf, results)
+	fmt.Fprintln(&buf)
+	harness.Table5(&buf, results)
+	fmt.Fprintln(&buf)
+	harness.Summary(&buf, results)
+	checkGolden(t, "golden_report.txt", buf.Bytes())
+}
+
+// TestGoldenTable6 pins the break-even sweep output. The sweep re-runs
+// every policy at several R factors, so it is skipped in -short like the
+// other slow sweeps.
+func TestGoldenTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	cfg := smallConfig()
+	cfg.Cache = harness.NewArtifactCache()
+	var buf bytes.Buffer
+	if err := harness.Table6(&buf, cfg, goldenWorkloads(t), 50); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_table6.txt", buf.Bytes())
+}

@@ -9,10 +9,28 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrMisaligned reports a data address that is not aligned to the 8-byte
+// word size. Every simulator path that consumes program-controlled addresses
+// (the classic core, the amnesic machine, slice-body loads, the differential
+// tester's reference interpreter) validates with CheckAligned and returns an
+// error wrapping ErrMisaligned, so a generated or hand-written program can
+// never reach the accessors' internal panic.
+var ErrMisaligned = errors.New("misaligned address")
+
+// CheckAligned returns nil for a word-aligned byte address and an error
+// wrapping ErrMisaligned (with the offending address) otherwise.
+func CheckAligned(addr uint64) error {
+	if addr&7 != 0 {
+		return fmt.Errorf("%w %#x", ErrMisaligned, addr)
+	}
+	return nil
+}
 
 const (
 	pageShift = 12 // 4096 words (32 KiB) per page
@@ -23,8 +41,11 @@ const (
 type page [pageWords]uint64
 
 // Memory is a sparse, word-granular (8-byte) functional memory. Addresses
-// are byte addresses and must be 8-byte aligned; accessors panic on
-// misalignment, which the CPU converts into a simulation error up front.
+// are byte addresses and must be 8-byte aligned; callers validate
+// program-controlled addresses with CheckAligned (and surface the returned
+// error) before accessing, so the accessors' panic below is a
+// defense-in-depth invariant for internal misuse, not a reachable failure
+// mode for bad program input.
 type Memory struct {
 	pages map[uint64]*page
 }
