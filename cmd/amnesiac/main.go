@@ -16,19 +16,22 @@ import (
 	"strings"
 
 	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/pprofutil"
 	"github.com/amnesiac-sim/amnesiac/internal/stats"
 	"github.com/amnesiac-sim/amnesiac/internal/workloads"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "", "benchmark name (see -list)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		list     = flag.Bool("list", false, "list available benchmarks")
-		policies = flag.String("policies", strings.Join(harness.PolicyLabels, ","), "comma-separated policies to report")
-		verbose  = flag.Bool("v", false, "print compiled slice details")
-		workers  = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
-		maxInstr = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
+		bench      = flag.String("bench", "", "benchmark name (see -list)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		list       = flag.Bool("list", false, "list available benchmarks")
+		policies   = flag.String("policies", strings.Join(harness.PolicyLabels, ","), "comma-separated policies to report")
+		verbose    = flag.Bool("v", false, "print compiled slice details")
+		workers    = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		maxInstr   = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -36,6 +39,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	stopProf, err := pprofutil.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amnesiac:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "amnesiac:", err)
+		}
+	}()
 
 	if *list {
 		t := stats.NewTable("Name", "Suite", "Input", "Responsive", "Description")

@@ -1,0 +1,328 @@
+// Command bench measures raw interpreter throughput — nanoseconds per
+// retired instruction and MIPS — for the three execution modes every
+// experiment in the repro pays for:
+//
+//   - classic:  the hook-free classic core (cpu.Core.Run, fast path);
+//   - profiled: the classic core driving the full profiler hook
+//     (profile.Collect, the prepare stage of every harness run);
+//   - amnesic:  the amnesic machine under the Compiler policy.
+//
+// Results are written as JSON (default BENCH_interp.json), establishing a
+// tracked perf trajectory for the simulator itself, independent of the
+// paper-metric benchmarks in bench_test.go.
+//
+// Usage:
+//
+//	bench                              # responsive suite, scale 0.3
+//	bench -scale 0.1 -runs 5
+//	bench -bench is,mcf -out /tmp/b.json
+//	bench -validate BENCH_interp.json  # sanity-check an existing report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
+	"github.com/amnesiac-sim/amnesiac/internal/compiler"
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/pprofutil"
+	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/uarch"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// Modes in report order.
+var modes = []string{"classic", "profiled", "amnesic"}
+
+// ModeResult is one (workload, mode) throughput measurement. Wall time is
+// the best of -runs repetitions, so transient scheduling noise does not
+// understate throughput.
+type ModeResult struct {
+	Instrs     uint64  `json:"instrs"`
+	WallNS     int64   `json:"wall_ns"`
+	NsPerInstr float64 `json:"ns_per_instr"`
+	MIPS       float64 `json:"mips"`
+}
+
+// WorkloadResult groups the three modes for one benchmark.
+type WorkloadResult struct {
+	Name  string                `json:"name"`
+	Modes map[string]ModeResult `json:"modes"`
+}
+
+// Report is the BENCH_interp.json schema.
+type Report struct {
+	Scale     float64               `json:"scale"`
+	MaxInstrs uint64                `json:"max_instrs"`
+	Runs      int                   `json:"runs"`
+	GoVersion string                `json:"go_version"`
+	GOOS      string                `json:"goos"`
+	GOARCH    string                `json:"goarch"`
+	Workloads []WorkloadResult      `json:"workloads"`
+	Totals    map[string]ModeResult `json:"totals"`
+}
+
+func finish(instrs uint64, wall time.Duration) ModeResult {
+	r := ModeResult{Instrs: instrs, WallNS: wall.Nanoseconds()}
+	if instrs > 0 && wall > 0 {
+		r.NsPerInstr = float64(wall.Nanoseconds()) / float64(instrs)
+		r.MIPS = float64(instrs) / wall.Seconds() / 1e6
+	}
+	return r
+}
+
+// bestOf runs f repeatedly, returning the retired-instruction count and the
+// minimum self-reported wall time. f times its own hot section, so per-run
+// setup (memory clones, machine construction) stays off the clock.
+func bestOf(runs int, f func() (uint64, time.Duration, error)) (ModeResult, error) {
+	var best time.Duration
+	var instrs uint64
+	for i := 0; i < runs; i++ {
+		n, wall, err := f()
+		if err != nil {
+			return ModeResult{}, err
+		}
+		if i == 0 || wall < best {
+			best = wall
+		}
+		instrs = n
+	}
+	return finish(instrs, best), nil
+}
+
+func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, want map[string]bool) (*WorkloadResult, error) {
+	model := energy.Default()
+	prog, initial := w.Build(scale)
+
+	out := &WorkloadResult{Name: w.Name, Modes: make(map[string]ModeResult, len(modes))}
+
+	// classic: hook-free fast path. Memory clones happen outside the timer;
+	// they are workload setup, not interpreter work.
+	if want["classic"] {
+		classic, err := bestOf(runs, func() (uint64, time.Duration, error) {
+			m := initial.Clone()
+			h := mem.NewDefaultHierarchy()
+			core := cpu.New(model, h, m)
+			core.MaxInstrs = maxInstrs
+			start := time.Now()
+			err := core.Run(prog)
+			return core.Acct.Instrs, time.Since(start), err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/classic: %w", w.Name, err)
+		}
+		out.Modes["classic"] = classic
+	}
+
+	// profiled: the full profiler hook (the harness prepare stage).
+	if want["profiled"] {
+		profiled, err := bestOf(runs, func() (uint64, time.Duration, error) {
+			start := time.Now()
+			prof, err := profile.Collect(model, prog, initial)
+			if err != nil {
+				return 0, 0, err
+			}
+			return prof.TotalDynamic, time.Since(start), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/profiled: %w", w.Name, err)
+		}
+		out.Modes["profiled"] = profiled
+	}
+
+	// amnesic: compile once (outside the timer), then time machine runs.
+	if want["amnesic"] {
+		prof, err := profile.Collect(model, prog, initial)
+		if err != nil {
+			return nil, fmt.Errorf("%s/compile: %w", w.Name, err)
+		}
+		ann, err := compiler.Compile(model, prog, prof, initial, compiler.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s/compile: %w", w.Name, err)
+		}
+		amn, err := bestOf(runs, func() (uint64, time.Duration, error) {
+			machine, err := amnesic.New(model, ann, initial.Clone(), policy.New(policy.Compiler), uarch.DefaultConfig())
+			if err != nil {
+				return 0, 0, err
+			}
+			machine.MaxInstrs = maxInstrs
+			start := time.Now()
+			if err := machine.Run(); err != nil {
+				return 0, 0, err
+			}
+			return machine.Acct.Instrs, time.Since(start), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/amnesic: %w", w.Name, err)
+		}
+		out.Modes["amnesic"] = amn
+	}
+	return out, nil
+}
+
+// validate checks an existing report for structural sanity; CI uses it to
+// assert the bench-smoke artifact is well formed.
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Workloads) == 0 {
+		return fmt.Errorf("%s: no workloads", path)
+	}
+	for _, wr := range rep.Workloads {
+		for _, mode := range modes {
+			mr, ok := wr.Modes[mode]
+			if !ok {
+				return fmt.Errorf("%s: %s missing mode %q", path, wr.Name, mode)
+			}
+			if mr.Instrs == 0 || mr.WallNS <= 0 || mr.MIPS <= 0 {
+				return fmt.Errorf("%s: %s/%s has degenerate measurement %+v", path, wr.Name, mode, mr)
+			}
+		}
+	}
+	for _, mode := range modes {
+		if rep.Totals[mode].Instrs == 0 {
+			return fmt.Errorf("%s: totals missing mode %q", path, mode)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		scale      = flag.Float64("scale", 0.3, "workload scale factor")
+		suite      = flag.String("suite", "responsive", "responsive or all")
+		bench      = flag.String("bench", "", "comma-separated workload names (overrides -suite)")
+		runs       = flag.Int("runs", 3, "repetitions per measurement (best-of)")
+		maxInstr   = flag.Int64("maxinstrs", 0, "per-run dynamic instruction budget (0 = default)")
+		out        = flag.String("out", "BENCH_interp.json", "output JSON path (- for stdout)")
+		checkPath  = flag.String("validate", "", "validate an existing report file and exit")
+		modeFlag   = flag.String("modes", "classic,profiled,amnesic", "comma-separated modes to measure")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	)
+	flag.Parse()
+
+	stopProf, err := pprofutil.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+	}()
+
+	if *checkPath != "" {
+		if err := validate(*checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: %s is a valid interpreter-throughput report\n", *checkPath)
+		return
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "bench: -scale must be positive, got %g\n", *scale)
+		os.Exit(2)
+	}
+	if *runs <= 0 {
+		fmt.Fprintf(os.Stderr, "bench: -runs must be positive, got %d\n", *runs)
+		os.Exit(2)
+	}
+	if *maxInstr < 0 {
+		fmt.Fprintf(os.Stderr, "bench: -maxinstrs must be >= 0, got %d\n", *maxInstr)
+		os.Exit(2)
+	}
+
+	want := make(map[string]bool)
+	for _, m := range strings.Split(*modeFlag, ",") {
+		m = strings.TrimSpace(m)
+		switch m {
+		case "classic", "profiled", "amnesic":
+			want[m] = true
+		default:
+			fmt.Fprintf(os.Stderr, "bench: unknown mode %q\n", m)
+			os.Exit(2)
+		}
+	}
+
+	var ws []*workloads.Workload
+	if *bench != "" {
+		for _, name := range strings.Split(*bench, ",") {
+			w, err := workloads.Get(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			ws = append(ws, w)
+		}
+	} else if *suite == "all" {
+		ws = workloads.All()
+	} else {
+		ws = workloads.Responsive()
+	}
+
+	rep := Report{
+		Scale:     *scale,
+		MaxInstrs: uint64(*maxInstr),
+		Runs:      *runs,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Totals:    make(map[string]ModeResult, len(modes)),
+	}
+	totalInstrs := make(map[string]uint64, len(modes))
+	totalWall := make(map[string]int64, len(modes))
+	for _, w := range ws {
+		fmt.Fprintf(os.Stderr, "bench: %s (scale %.2f)...\n", w.Name, *scale)
+		wr, err := measure(w, *scale, uint64(*maxInstr), *runs, want)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		rep.Workloads = append(rep.Workloads, *wr)
+		for mode, mr := range wr.Modes {
+			totalInstrs[mode] += mr.Instrs
+			totalWall[mode] += mr.WallNS
+		}
+	}
+	for _, mode := range modes {
+		if want[mode] {
+			rep.Totals[mode] = finish(totalInstrs[mode], time.Duration(totalWall[mode]))
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	t := rep.Totals
+	fmt.Fprintf(os.Stderr, "bench: classic %.1f MIPS, profiled %.1f MIPS, amnesic %.1f MIPS over %d workloads\n",
+		t["classic"].MIPS, t["profiled"].MIPS, t["amnesic"].MIPS, len(rep.Workloads))
+}

@@ -16,17 +16,20 @@ import (
 	"strings"
 
 	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/pprofutil"
 	"github.com/amnesiac-sim/amnesiac/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		suite   = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
-		maxR    = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
-		workers  = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
-		maxInstr = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
+		exp        = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		suite      = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
+		maxR       = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
+		workers    = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		maxInstr   = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -34,6 +37,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	stopProf, err := pprofutil.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale

@@ -141,102 +141,183 @@ func (m *Machine) WriteReg(r isa.Reg, v uint64) {
 	}
 }
 
-// Run executes the annotated program to HALT.
+// Run executes the annotated program to HALT. Like the classic core it
+// dispatches over the pre-decoded program form, with energy charges
+// inlined from tables precomputed by cpu.BuildCharges — accumulated in the
+// same order as the energy.Account helpers, so totals stay bit-identical.
+// The amnesic opcodes (REC/RCMP and the slices they traverse) are rare and
+// keep their out-of-line handlers.
 func (m *Machine) Run() error {
 	p := m.Ann.Prog
+	d := p.Decoded()
 	code := p.Code
+	n := len(code)
 	max := m.MaxInstrs
 	if max == 0 {
 		max = cpu.DefaultMaxInstrs
 	}
+	kinds, ops, cats := d.Kind, d.Op, d.Cat
+	dsts, src1s, src2s, imms, targets := d.Dst, d.Src1, d.Src2, d.Imm, d.Target
+	hier, l1, memory := m.Hier, m.Hier.L1, m.Mem
+	acct := &m.Acct
+	regs := &m.Regs
+	regs[isa.R0] = 0
+	ct := cpu.BuildCharges(m.Model)
 	// Hoist per-instruction fetch parameters out of the hot loop; the
 	// model is read-only for the duration of the run.
 	fetchE, fetchT := m.Model.FetchEnergy, m.Model.FetchLatency
+	storeHook := m.StoreHook
+	elim := m.Ann.ElimNOPPCs
+
 	m.PC = 0
+	pc := 0
 	for {
-		if m.PC < 0 || m.PC >= len(code) {
-			return fmt.Errorf("amnesic: pc %d out of range (%q)", m.PC, p.Name)
+		if pc < 0 || pc >= n {
+			m.PC = pc
+			return fmt.Errorf("amnesic: pc %d out of range (%q)", pc, p.Name)
 		}
-		if m.Acct.Instrs >= max {
+		if acct.Instrs >= max {
+			m.PC = pc
 			return fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
 		}
-		in := code[m.PC]
-		m.Acct.AddFetch(fetchE, fetchT)
-		halt, err := m.step(in)
-		if err != nil {
-			return fmt.Errorf("amnesic: pc %d (%s): %w", m.PC, in, err)
-		}
-		if halt {
+		acct.EnergyNJ += fetchE
+		acct.FetchNJ += fetchE
+		acct.TimeNS += fetchT
+		switch kinds[pc] {
+		case isa.KindCompute:
+			dst := dsts[pc]
+			v := isa.EvalComputeOp(ops[pc], imms[pc], regs[src1s[pc]], regs[src2s[pc]], regs[dst])
+			if dst != 0 {
+				regs[dst] = v
+			}
+			cat := cats[pc]
+			e := ct.EPI[cat]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[cat]++
+			pc++
+		case isa.KindLoad:
+			addr := regs[src1s[pc]] + uint64(imms[pc])
+			if addr&7 != 0 {
+				m.PC = pc
+				return fmt.Errorf("amnesic: pc %d (%s): load: %w", pc, code[pc], mem.CheckAligned(addr))
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, false) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, false)
+				m.chargeWritebacks(res)
+				level = res.Level
+			}
+			e := ct.LoadTot[level]
+			acct.EnergyNJ += e
+			acct.LoadNJ += e
+			acct.TimeNS += ct.LoadLat[level]
+			acct.Instrs++
+			acct.Loads++
+			acct.ByCategory[isa.CatLoad]++
+			v := memory.Load(addr)
+			if dst := dsts[pc]; dst != 0 {
+				regs[dst] = v
+			}
+			pc++
+		case isa.KindStore:
+			addr := regs[src1s[pc]] + uint64(imms[pc])
+			if addr&7 != 0 {
+				m.PC = pc
+				return fmt.Errorf("amnesic: pc %d (%s): store: %w", pc, code[pc], mem.CheckAligned(addr))
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, true) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, true)
+				m.chargeWritebacks(res)
+				level = res.Level
+			}
+			e := ct.StoreTot[level]
+			acct.EnergyNJ += e
+			acct.StoreNJ += e
+			acct.TimeNS += ct.StoreLat
+			acct.Instrs++
+			acct.Stores++
+			acct.ByCategory[isa.CatStore]++
+			v := regs[src2s[pc]]
+			memory.Store(addr, v)
+			if storeHook != nil {
+				storeHook(addr, v)
+			}
+			pc++
+		case isa.KindRec:
+			m.PC = pc // execREC keys RecSpecs by the current PC
+			m.execREC(code[pc])
+			pc++
+		case isa.KindRcmp:
+			m.PC = pc
+			if err := m.execRCMP(code[pc]); err != nil {
+				return fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], err)
+			}
+			pc++
+		case isa.KindCondBr:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			if isa.BranchTaken(ops[pc], regs[src1s[pc]], regs[src2s[pc]]) {
+				pc = int(targets[pc])
+			} else {
+				pc++
+			}
+		case isa.KindJmp:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			pc = int(targets[pc])
+		case isa.KindNop:
+			e := ct.EPI[isa.CatNop]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatNop]++
+			if elim[pc] {
+				m.Stat.NOPsSkipped++
+			}
+			pc++
+		case isa.KindHalt:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			m.PC = pc
 			m.Stat.HistMaxUsed = m.Hist.MaxUsed
 			return nil
+		case isa.KindRtn:
+			// Slice bodies are traversed inline by execRCMP; control never
+			// falls into them.
+			m.PC = pc
+			return fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], errStrayRTN)
+		default:
+			m.PC = pc
+			return fmt.Errorf("amnesic: pc %d (%s): unimplemented opcode %s", pc, code[pc], ops[pc])
 		}
 	}
 }
 
-func (m *Machine) step(in isa.Instr) (halt bool, err error) {
-	switch {
-	case in.Op == isa.NOP:
-		m.Acct.AddInstr(m.Model, isa.CatNop)
-		if m.Ann.ElimNOPPCs[m.PC] {
-			m.Stat.NOPsSkipped++
-		}
-		m.PC++
-	case isa.Recomputable(in.Op):
-		v := isa.EvalCompute(in, m.ReadReg(in.Src1), m.ReadReg(in.Src2), m.ReadReg(in.Dst))
-		m.WriteReg(in.Dst, v)
-		m.Acct.AddInstr(m.Model, isa.CategoryOf(in.Op))
-		m.PC++
-	case in.Op == isa.LD:
-		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("load: %w", err)
-		}
-		res := m.Hier.Access(addr, false)
-		m.chargeWritebacks(res)
-		m.Acct.AddLoad(m.Model, res.Level)
-		m.WriteReg(in.Dst, m.Mem.Load(addr))
-		m.PC++
-	case in.Op == isa.ST:
-		addr := m.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("store: %w", err)
-		}
-		res := m.Hier.Access(addr, true)
-		m.chargeWritebacks(res)
-		m.Acct.AddStore(m.Model, res.Level)
-		v := m.ReadReg(in.Src2)
-		m.Mem.Store(addr, v)
-		if m.StoreHook != nil {
-			m.StoreHook(addr, v)
-		}
-		m.PC++
-	case in.Op == isa.REC:
-		m.execREC(in)
-		m.PC++
-	case in.Op == isa.RCMP:
-		if err := m.execRCMP(in); err != nil {
-			return false, err
-		}
-		m.PC++
-	case in.Op == isa.HALT:
-		m.Acct.AddInstr(m.Model, isa.CatBranch)
-		return true, nil
-	case in.Op == isa.RTN:
-		// Slice bodies are traversed inline by execRCMP; control never
-		// falls into them.
-		return false, errors.New("stray RTN outside recomputation")
-	case isa.IsBranch(in.Op):
-		m.Acct.AddInstr(m.Model, isa.CatBranch)
-		if isa.BranchTaken(in.Op, m.ReadReg(in.Src1), m.ReadReg(in.Src2)) {
-			m.PC = int(in.Imm)
-		} else {
-			m.PC++
-		}
-	default:
-		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
-	}
-	return false, nil
-}
+// errStrayRTN preserves the historical step-loop error text.
+var errStrayRTN = errors.New("stray RTN outside recomputation")
 
 // execREC checkpoints the masked registers into Hist (§3.3.2 step 0). Its
 // cost is modeled after a store to L1-D (§4). A capacity overflow fails the

@@ -185,7 +185,7 @@ func validateWithProfileStores(model *energy.Model, prog *isa.Program, initial *
 	implicitFeeders := feeders == nil
 
 	core := cpu.New(model, mem.NewDefaultHierarchy(), initial.Clone())
-	core.Hook = func(ev cpu.Event) {
+	core.Hook = func(ev *cpu.Event) {
 		for _, site := range recSites[ev.PC] {
 			ck := site.cs.ck[site.node]
 			if ck == nil {

@@ -7,6 +7,14 @@
 // Timing model (paper §4): one cycle per non-memory instruction at the
 // Table 3 frequency; loads stall for the round-trip latency of the level
 // that services them; stores retire at L1-D speed (write-back hierarchy).
+//
+// Both run loops dispatch over the program's pre-decoded form
+// (isa.Program.Decoded): dense parallel arrays replace per-instruction
+// opcode classification, and the energy charges of energy.Account are
+// inlined from per-category/per-level tables precomputed once per run.
+// The tables hold exactly the values the Account methods would compute,
+// accumulated in the same order, so the floating-point results are
+// bit-identical to the method-call formulation.
 package cpu
 
 import (
@@ -50,8 +58,9 @@ type Core struct {
 	// MaxInstrs bounds the run; 0 means DefaultMaxInstrs.
 	MaxInstrs uint64
 	// Hook, if non-nil, observes every retired instruction. The profiler
-	// installs one; plain runs leave it nil for speed.
-	Hook func(Event)
+	// installs one; plain runs leave it nil for speed. The Event is reused
+	// across steps: hooks must copy out anything they keep past the call.
+	Hook func(*Event)
 	// ChargeFetch adds per-instruction L1-I fetch energy when true. The
 	// paper's Table 4 breakdown separates loads/stores/non-mem; fetch is
 	// charged so classic and amnesic executions are comparable.
@@ -78,15 +87,46 @@ func (c *Core) WriteReg(r isa.Reg, v uint64) {
 	}
 }
 
+// ChargeTable holds per-run precomputed energy charges for inlined
+// accounting: per-category instruction energies and combined
+// (issue + hierarchy) load/store energies per serviced level. The values
+// are computed by the same Model methods the Account helpers call, so
+// accumulating them yields bit-identical floating-point totals. The
+// amnesic machine's run loop shares it.
+type ChargeTable struct {
+	EPI      [isa.NumCategories]float64
+	LoadTot  [energy.NumLevels]float64
+	StoreTot [energy.NumLevels]float64
+	LoadLat  [energy.NumLevels]float64
+	StoreLat float64
+	Cycle    float64
+}
+
+// BuildCharges derives the charge table from a read-only model.
+func BuildCharges(m *energy.Model) ChargeTable {
+	var t ChargeTable
+	for cat := range t.EPI {
+		t.EPI[cat] = m.InstrEnergy(isa.Category(cat))
+	}
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		t.LoadTot[l] = m.InstrEnergy(isa.CatLoad) + m.LoadEnergy(l)
+		t.StoreTot[l] = m.InstrEnergy(isa.CatStore) + m.StoreEnergy(l)
+		t.LoadLat[l] = m.LoadLatency(l)
+	}
+	t.StoreLat = m.Latency[energy.L1]
+	t.Cycle = m.CycleNS()
+	return t
+}
+
 // Run executes the program from PC 0 until HALT. It returns an error for
 // malformed programs, amnesic opcodes (which only the amnesic machine
 // executes), misaligned accesses, or budget exhaustion.
 //
 // When Hook is nil — every plain simulation; only the profiler installs a
 // hook — Run takes a fast-path loop with all hook bookkeeping (operand
-// snapshots, event construction, the per-case nil checks) compiled out and
-// the fetch parameters hoisted out of the loop. Both paths are
-// architecturally and energetically identical.
+// snapshots, event construction) compiled out. Both paths dispatch over
+// the pre-decoded program and are architecturally and energetically
+// identical.
 func (c *Core) Run(p *isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("cpu: %w", err)
@@ -96,171 +136,433 @@ func (c *Core) Run(p *isa.Program) error {
 		max = DefaultMaxInstrs
 	}
 	c.PC = 0
+	// The loops read registers without masking R0, relying on the
+	// invariant that Regs[0] stays zero (writes are guarded).
+	c.Regs[isa.R0] = 0
 	if c.Hook == nil {
 		return c.runFast(p, max)
 	}
-	for {
-		if c.PC < 0 || c.PC >= len(p.Code) {
-			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", c.PC, p.Name, len(p.Code))
-		}
-		if c.Acct.Instrs >= max {
-			return fmt.Errorf("%w (%d)", ErrInstrBudget, max)
-		}
-		in := p.Code[c.PC]
-		if c.ChargeFetch {
-			c.Acct.AddFetch(c.Model.FetchEnergy, c.Model.FetchLatency)
-		}
-		halt, err := c.Step(in)
-		if err != nil {
-			return fmt.Errorf("cpu: pc %d (%s): %w", c.PC, in, err)
-		}
-		if halt {
-			return nil
-		}
-	}
+	return c.runHooked(p, max)
 }
 
-// runFast is the Hook-free interpreter loop.
+// runFast is the Hook-free interpreter loop over the decoded program.
+//
+// Beyond decoded dispatch it applies three mechanical optimisations, none of
+// which may change observable results:
+//
+//   - every energy.Account field is accumulated in a local and flushed once
+//     at exit — the additions happen in exactly the order the Account
+//     methods would perform them, so the floating-point totals stay
+//     bit-identical, but the loop body carries no stores to shared memory
+//     the compiler must assume aliased;
+//   - the decoded arrays are re-sliced to a common length so the single
+//     pc-bounds test at the loop head eliminates all per-array checks;
+//   - register indices are masked with &31 (a no-op for validated programs,
+//     where Reg < 32) to eliminate bounds checks on the register file, and
+//     the hottest integer ALU ops are evaluated inline, falling back to
+//     isa.EvalComputeOp for the long tail.
 func (c *Core) runFast(p *isa.Program, max uint64) error {
+	d := p.Decoded()
+	n := d.Len()
+	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
+	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
+	hier, l1, memory := c.Hier, c.Hier.L1, c.Mem
+	acct := &c.Acct
+	regs := &c.Regs
+	ct := BuildCharges(c.Model)
+	fetchE, fetchT := c.Model.FetchEnergy, c.Model.FetchLatency
+	wbL2, wbMem := c.Model.WriteEnergy[energy.L2], c.Model.WriteEnergy[energy.Mem]
+	cycle := ct.Cycle
+	charge := c.ChargeFetch
+	// Flat windows held in locals, forming a two-entry data micro-TLB: the
+	// primary arena plus the region that serviced the most recent slow-path
+	// access. Both are re-fetched after any store that misses them (growth
+	// may reallocate a backing array); since every region growth routes
+	// through that slow path, a window can never go stale while live here.
+	arenaBase, arena := memory.ArenaView()
+	var w2base uint64
+	var w2 []uint64
+
+	// Local accumulators; flushed at the single exit point below.
+	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
+	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
+	byCat := acct.ByCategory
+
+	var rerr error
+	pc := 0
+loop:
+	for {
+		if uint(pc) >= uint(n) {
+			rerr = fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", pc, p.Name, n)
+			break loop
+		}
+		if instrs >= max {
+			rerr = fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+			break loop
+		}
+		if charge {
+			energyNJ += fetchE
+			fetchNJ += fetchE
+			timeNS += fetchT
+		}
+		switch kinds[pc] {
+		case isa.KindCompute:
+			op := ops[pc]
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var v uint64
+			switch op {
+			case isa.ADD:
+				v = a + b
+			case isa.ADDI:
+				v = a + uint64(imms[pc])
+			case isa.LI:
+				v = uint64(imms[pc])
+			case isa.MOV:
+				v = a
+			case isa.SUB:
+				v = a - b
+			case isa.MUL:
+				v = a * b
+			case isa.AND:
+				v = a & b
+			case isa.OR:
+				v = a | b
+			case isa.XOR:
+				v = a ^ b
+			case isa.SHL:
+				v = a << (b & 63)
+			case isa.SHR:
+				v = a >> (b & 63)
+			case isa.SLT:
+				if int64(a) < int64(b) {
+					v = 1
+				}
+			case isa.SEQ:
+				if a == b {
+					v = 1
+				}
+			default:
+				v = isa.EvalComputeOp(op, imms[pc], a, b, regs[dsts[pc]&31])
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
+				regs[dst] = v
+			}
+			cat := cats[pc]
+			e := ct.EPI[cat]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[cat]++
+			pc++
+		case isa.KindLoad:
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
+			if addr&7 != 0 {
+				rerr = fmt.Errorf("cpu: pc %d (%s): load: %w", pc, p.Code[pc], mem.CheckAligned(addr))
+				break loop
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, false) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, false)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
+				level = res.Level
+			}
+			e := ct.LoadTot[level]
+			energyNJ += e
+			loadNJ += e
+			timeNS += ct.LoadLat[level]
+			instrs++
+			loadCnt++
+			byCat[isa.CatLoad]++
+			var v uint64
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				v = arena[off]
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				v = w2[off]
+			} else {
+				v = memory.Load(addr)
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
+				regs[dst] = v
+			}
+			pc++
+		case isa.KindStore:
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
+			if addr&7 != 0 {
+				rerr = fmt.Errorf("cpu: pc %d (%s): store: %w", pc, p.Code[pc], mem.CheckAligned(addr))
+				break loop
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, true) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, true)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
+				level = res.Level
+			}
+			e := ct.StoreTot[level]
+			energyNJ += e
+			storeNJ += e
+			timeNS += ct.StoreLat
+			instrs++
+			storeCnt++
+			byCat[isa.CatStore]++
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				arena[off] = regs[src2s[pc]&31]
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				w2[off] = regs[src2s[pc]&31]
+			} else {
+				memory.Store(addr, regs[src2s[pc]&31])
+				arenaBase, arena = memory.ArenaView()
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
+			pc++
+		case isa.KindCondBr:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var taken bool
+			switch ops[pc] {
+			case isa.BEQ:
+				taken = a == b
+			case isa.BNE:
+				taken = a != b
+			case isa.BLT:
+				taken = int64(a) < int64(b)
+			default: // BGE: KindCondBr decodes exactly four opcodes
+				taken = int64(a) >= int64(b)
+			}
+			if taken {
+				pc = int(targets[pc])
+			} else {
+				pc++
+			}
+		case isa.KindJmp:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			pc = int(targets[pc])
+		case isa.KindNop:
+			e := ct.EPI[isa.CatNop]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatNop]++
+			pc++
+		case isa.KindHalt:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			break loop
+		case isa.KindRcmp, isa.KindRtn, isa.KindRec:
+			rerr = fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, p.Code[pc], ops[pc])
+			break loop
+		default:
+			rerr = fmt.Errorf("cpu: pc %d (%s): unimplemented opcode %s", pc, p.Code[pc], ops[pc])
+			break loop
+		}
+	}
+
+	c.PC = pc
+	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+	acct.ByCategory = byCat
+	return rerr
+}
+
+// runHooked is the profiling interpreter loop: identical architectural and
+// energy behaviour to runFast, plus operand snapshots and one Event —
+// reused across steps — delivered to the Hook per retired instruction
+// (HALT excepted, matching the historical contract).
+func (c *Core) runHooked(p *isa.Program, max uint64) error {
+	d := p.Decoded()
 	code := p.Code
+	n := len(d.Kind)
+	kinds, ops, cats := d.Kind, d.Op, d.Cat
+	dsts, src1s, src2s, imms, targets := d.Dst, d.Src1, d.Src2, d.Imm, d.Target
+	hier, l1, memory := c.Hier, c.Hier.L1, c.Mem
+	acct := &c.Acct
+	regs := &c.Regs
+	ct := BuildCharges(c.Model)
 	fetchE, fetchT := c.Model.FetchEnergy, c.Model.FetchLatency
 	charge := c.ChargeFetch
+	hook := c.Hook
+
+	var ev Event
+	pc := 0
 	for {
-		if c.PC < 0 || c.PC >= len(code) {
-			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", c.PC, p.Name, len(code))
+		if pc < 0 || pc >= n {
+			c.PC = pc
+			return fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", pc, p.Name, n)
 		}
-		if c.Acct.Instrs >= max {
+		if acct.Instrs >= max {
+			c.PC = pc
 			return fmt.Errorf("%w (%d)", ErrInstrBudget, max)
 		}
-		in := code[c.PC]
 		if charge {
-			c.Acct.AddFetch(fetchE, fetchT)
+			acct.EnergyNJ += fetchE
+			acct.FetchNJ += fetchE
+			acct.TimeNS += fetchT
 		}
-		halt, err := c.stepFast(in)
-		if err != nil {
-			return fmt.Errorf("cpu: pc %d (%s): %w", c.PC, in, err)
-		}
-		if halt {
+		// Pre-execution operand snapshot (Src1, Src2, old Dst).
+		srcs := [3]uint64{regs[src1s[pc]], regs[src2s[pc]], regs[dsts[pc]]}
+		switch kinds[pc] {
+		case isa.KindCompute:
+			dst := dsts[pc]
+			v := isa.EvalComputeOp(ops[pc], imms[pc], srcs[0], srcs[1], srcs[2])
+			if dst != 0 {
+				regs[dst] = v
+			}
+			cat := cats[pc]
+			e := ct.EPI[cat]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[cat]++
+			ev = Event{PC: pc, In: code[pc], SrcVals: srcs}
+			hook(&ev)
+			pc++
+		case isa.KindLoad:
+			addr := srcs[0] + uint64(imms[pc])
+			if addr&7 != 0 {
+				c.PC = pc
+				return fmt.Errorf("cpu: pc %d (%s): load: %w", pc, code[pc], mem.CheckAligned(addr))
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, false) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, false)
+				c.chargeWritebacks(res)
+				level = res.Level
+			}
+			e := ct.LoadTot[level]
+			acct.EnergyNJ += e
+			acct.LoadNJ += e
+			acct.TimeNS += ct.LoadLat[level]
+			acct.Instrs++
+			acct.Loads++
+			acct.ByCategory[isa.CatLoad]++
+			v := memory.Load(addr)
+			if dst := dsts[pc]; dst != 0 {
+				regs[dst] = v
+			}
+			ev = Event{PC: pc, In: code[pc], Addr: addr, Value: v, Level: level, SrcVals: srcs}
+			hook(&ev)
+			pc++
+		case isa.KindStore:
+			addr := srcs[0] + uint64(imms[pc])
+			if addr&7 != 0 {
+				c.PC = pc
+				return fmt.Errorf("cpu: pc %d (%s): store: %w", pc, code[pc], mem.CheckAligned(addr))
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, true) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, true)
+				c.chargeWritebacks(res)
+				level = res.Level
+			}
+			e := ct.StoreTot[level]
+			acct.EnergyNJ += e
+			acct.StoreNJ += e
+			acct.TimeNS += ct.StoreLat
+			acct.Instrs++
+			acct.Stores++
+			acct.ByCategory[isa.CatStore]++
+			v := srcs[1]
+			memory.Store(addr, v)
+			ev = Event{PC: pc, In: code[pc], Addr: addr, Value: v, Level: level, SrcVals: srcs}
+			hook(&ev)
+			pc++
+		case isa.KindCondBr:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			taken := isa.BranchTaken(ops[pc], srcs[0], srcs[1])
+			ev = Event{PC: pc, In: code[pc], SrcVals: srcs}
+			hook(&ev)
+			if taken {
+				pc = int(targets[pc])
+			} else {
+				pc++
+			}
+		case isa.KindJmp:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			ev = Event{PC: pc, In: code[pc], SrcVals: srcs}
+			hook(&ev)
+			pc = int(targets[pc])
+		case isa.KindNop:
+			e := ct.EPI[isa.CatNop]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatNop]++
+			ev = Event{PC: pc, In: code[pc], SrcVals: srcs}
+			hook(&ev)
+			pc++
+		case isa.KindHalt:
+			e := ct.EPI[isa.CatBranch]
+			acct.EnergyNJ += e
+			acct.NonMemNJ += e
+			acct.TimeNS += ct.Cycle
+			acct.Instrs++
+			acct.ByCategory[isa.CatBranch]++
+			c.PC = pc
 			return nil
+		case isa.KindRcmp, isa.KindRtn, isa.KindRec:
+			c.PC = pc
+			return fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, code[pc], ops[pc])
+		default:
+			c.PC = pc
+			return fmt.Errorf("cpu: pc %d (%s): unimplemented opcode %s", pc, code[pc], ops[pc])
 		}
 	}
-}
-
-// stepFast is Step minus the Hook bookkeeping. Keep the two in lockstep.
-func (c *Core) stepFast(in isa.Instr) (halt bool, err error) {
-	switch {
-	case in.Op == isa.NOP:
-		c.Acct.AddInstr(c.Model, isa.CatNop)
-		c.PC++
-	case isa.Recomputable(in.Op):
-		v := isa.EvalCompute(in, c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst))
-		c.WriteReg(in.Dst, v)
-		c.Acct.AddInstr(c.Model, isa.CategoryOf(in.Op))
-		c.PC++
-	case in.Op == isa.LD:
-		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("load: %w", err)
-		}
-		res := c.Hier.Access(addr, false)
-		c.chargeWritebacks(res)
-		c.Acct.AddLoad(c.Model, res.Level)
-		c.WriteReg(in.Dst, c.Mem.Load(addr))
-		c.PC++
-	case in.Op == isa.ST:
-		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("store: %w", err)
-		}
-		res := c.Hier.Access(addr, true)
-		c.chargeWritebacks(res)
-		c.Acct.AddStore(c.Model, res.Level)
-		c.Mem.Store(addr, c.ReadReg(in.Src2))
-		c.PC++
-	case in.Op == isa.HALT:
-		c.Acct.AddInstr(c.Model, isa.CatBranch)
-		return true, nil
-	case isa.IsBranch(in.Op) && in.Op != isa.RCMP && in.Op != isa.RTN:
-		c.Acct.AddInstr(c.Model, isa.CatBranch)
-		if isa.BranchTaken(in.Op, c.ReadReg(in.Src1), c.ReadReg(in.Src2)) {
-			c.PC = int(in.Imm)
-		} else {
-			c.PC++
-		}
-	case in.Op == isa.RCMP || in.Op == isa.RTN || in.Op == isa.REC:
-		return false, fmt.Errorf("amnesic opcode %s on classic core", in.Op)
-	default:
-		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
-	}
-	return false, nil
-}
-
-// Step executes one instruction at the current PC, advancing PC. It returns
-// halt=true on HALT. Step does not charge fetch energy; Run does.
-func (c *Core) Step(in isa.Instr) (halt bool, err error) {
-	pc := c.PC
-	var srcs [3]uint64
-	if c.Hook != nil {
-		srcs = [3]uint64{c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst)}
-	}
-	switch {
-	case in.Op == isa.NOP:
-		c.Acct.AddInstr(c.Model, isa.CatNop)
-		c.PC++
-	case isa.Recomputable(in.Op):
-		v := isa.EvalCompute(in, c.ReadReg(in.Src1), c.ReadReg(in.Src2), c.ReadReg(in.Dst))
-		c.WriteReg(in.Dst, v)
-		c.Acct.AddInstr(c.Model, isa.CategoryOf(in.Op))
-		c.PC++
-	case in.Op == isa.LD:
-		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("load: %w", err)
-		}
-		res := c.Hier.Access(addr, false)
-		c.chargeWritebacks(res)
-		c.Acct.AddLoad(c.Model, res.Level)
-		v := c.Mem.Load(addr)
-		c.WriteReg(in.Dst, v)
-		if c.Hook != nil {
-			c.Hook(Event{PC: pc, In: in, Addr: addr, Value: v, Level: res.Level, SrcVals: srcs})
-		}
-		c.PC++
-		return false, nil
-	case in.Op == isa.ST:
-		addr := c.ReadReg(in.Src1) + uint64(in.Imm)
-		if err := mem.CheckAligned(addr); err != nil {
-			return false, fmt.Errorf("store: %w", err)
-		}
-		res := c.Hier.Access(addr, true)
-		c.chargeWritebacks(res)
-		c.Acct.AddStore(c.Model, res.Level)
-		v := c.ReadReg(in.Src2)
-		c.Mem.Store(addr, v)
-		if c.Hook != nil {
-			c.Hook(Event{PC: pc, In: in, Addr: addr, Value: v, Level: res.Level, SrcVals: srcs})
-		}
-		c.PC++
-		return false, nil
-	case in.Op == isa.HALT:
-		c.Acct.AddInstr(c.Model, isa.CatBranch)
-		return true, nil
-	case isa.IsBranch(in.Op) && in.Op != isa.RCMP && in.Op != isa.RTN:
-		c.Acct.AddInstr(c.Model, isa.CatBranch)
-		if isa.BranchTaken(in.Op, c.ReadReg(in.Src1), c.ReadReg(in.Src2)) {
-			c.PC = int(in.Imm)
-		} else {
-			c.PC++
-		}
-	case in.Op == isa.RCMP || in.Op == isa.RTN || in.Op == isa.REC:
-		return false, fmt.Errorf("amnesic opcode %s on classic core", in.Op)
-	default:
-		return false, fmt.Errorf("unimplemented opcode %s", in.Op)
-	}
-	if c.Hook != nil {
-		c.Hook(Event{PC: pc, In: in, SrcVals: srcs})
-	}
-	return false, nil
 }
 
 func (c *Core) chargeWritebacks(res mem.AccessResult) {

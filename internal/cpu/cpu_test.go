@@ -113,7 +113,7 @@ func TestHookObservesSrcVals(t *testing.T) {
 	p := b.MustAssemble()
 	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
 	var got [3]uint64
-	core.Hook = func(ev cpu.Event) {
+	core.Hook = func(ev *cpu.Event) {
 		if ev.In.Op == isa.ADD {
 			got = ev.SrcVals
 		}
@@ -180,7 +180,7 @@ func TestFastPathMatchesHookedPath(t *testing.T) {
 	}
 	hooked, hookedH, p2 := build()
 	events := 0
-	hooked.Hook = func(cpu.Event) { events++ }
+	hooked.Hook = func(*cpu.Event) { events++ }
 	if err := hooked.Run(p2); err != nil {
 		t.Fatal(err)
 	}
@@ -199,6 +199,95 @@ func TestFastPathMatchesHookedPath(t *testing.T) {
 		t.Errorf("hook saw %d events for %d instructions", events, hooked.Acct.Instrs)
 	}
 }
+
+// TestMisalignedErrorsWrapErrMisaligned locks the error contract of the
+// hook-free fast path: misaligned program addresses surface as errors
+// wrapping mem.ErrMisaligned — never as the Memory accessors' panic — even
+// when the access would otherwise take the inline flat-arena route.
+func TestMisalignedErrorsWrapErrMisaligned(t *testing.T) {
+	cases := map[string]func(b *asm.Builder){
+		"load":  func(b *asm.Builder) { b.Ld(2, 1, 0) },
+		"store": func(b *asm.Builder) { b.St(1, 0, 2) },
+	}
+	for name, access := range cases {
+		b := asm.NewBuilder(name)
+		// Anchor the flat arena with an aligned store first, then access a
+		// misaligned address near it.
+		b.Li(1, 4096).Li(2, 5)
+		b.St(1, 0, 2)
+		b.Addi(1, 1, 3) // r1 = 4099: misaligned
+		access(b)
+		b.Halt()
+		p := b.MustAssemble()
+		core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+		err := core.Run(p)
+		if !errors.Is(err, mem.ErrMisaligned) {
+			t.Errorf("%s: err = %v, want ErrMisaligned", name, err)
+		}
+	}
+}
+
+// TestHookedRunEventReuse verifies the hooked loop reuses one Event for the
+// whole run: thousands of retired instructions may cost at most a handful
+// of fixed allocations (the shared Event escaping to the hook, per-run
+// setup), never one per event.
+func TestHookedRunEventReuse(t *testing.T) {
+	b := asm.NewBuilder("alloc")
+	b.Li(1, 2000).Li(3, 1).Li(4, 4096)
+	b.Label("loop")
+	b.St(4, 0, 1)
+	b.Ld(5, 4, 0)
+	b.Sub(1, 1, 3)
+	b.Bne(1, isa.R0, "loop")
+	b.Halt()
+	p := b.MustAssemble()
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	events := 0
+	core.Hook = func(*cpu.Event) { events++ }
+	if err := core.Run(p); err != nil { // warm decode cache and arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if err := core.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if events < 8000 {
+		t.Fatalf("hook saw only %d events; test needs a long run", events)
+	}
+	if allocs > 16 {
+		t.Errorf("hooked run allocated %.0f objects for ~8000 events; Event is not being reused", allocs)
+	}
+}
+
+// Throughput benchmarks for the two interpreter loops; run with -benchmem
+// to confirm the steady state allocates nothing per instruction.
+func benchLoop(b *testing.B, hook func(*cpu.Event)) {
+	ab := asm.NewBuilder("bench")
+	ab.Li(1, 5000).Li(3, 1).Li(4, 4096)
+	ab.Label("loop")
+	ab.St(4, 0, 1)
+	ab.Ld(5, 4, 0)
+	ab.Add(2, 2, 5)
+	ab.Addi(4, 4, 64)
+	ab.Sub(1, 1, 3)
+	ab.Bne(1, isa.R0, "loop")
+	ab.Halt()
+	p := ab.MustAssemble()
+	core := cpu.New(energy.Default(), mem.NewDefaultHierarchy(), mem.NewMemory())
+	core.Hook = hook
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.Acct.Instrs)/float64(b.N), "instrs/op")
+}
+
+func BenchmarkRunFast(b *testing.B)   { benchLoop(b, nil) }
+func BenchmarkRunHooked(b *testing.B) { benchLoop(b, func(*cpu.Event) {}) }
 
 // TestRunProgramLimit verifies the budget plumbing of the wrapper.
 func TestRunProgramLimit(t *testing.T) {

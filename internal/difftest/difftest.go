@@ -162,7 +162,7 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 	core := cpu.New(opts.Model, mem.NewDefaultHierarchy(), initial.Clone())
 	core.MaxInstrs = opts.MaxInstrs
 	var classicStores []StoreEvent
-	core.Hook = func(ev cpu.Event) {
+	core.Hook = func(ev *cpu.Event) {
 		if ev.In.Op == isa.ST {
 			classicStores = append(classicStores, StoreEvent{ev.Addr, ev.Value})
 		}

@@ -11,15 +11,22 @@ import "math"
 // EvalCompute panics on non-compute opcodes; callers dispatch memory,
 // branch and amnesic opcodes themselves.
 func EvalCompute(in Instr, a, b, dstOld uint64) uint64 {
-	switch in.Op {
+	return EvalComputeOp(in.Op, in.Imm, a, b, dstOld)
+}
+
+// EvalComputeOp is EvalCompute over an already-decoded (opcode, immediate)
+// pair, for interpreter loops dispatching on the Decoded form without
+// materializing an Instr.
+func EvalComputeOp(op Op, imm int64, a, b, dstOld uint64) uint64 {
+	switch op {
 	case LI:
-		return uint64(in.Imm)
+		return uint64(imm)
 	case MOV:
 		return a
 	case ADD:
 		return a + b
 	case ADDI:
-		return a + uint64(in.Imm)
+		return a + uint64(imm)
 	case SUB:
 		return a - b
 	case MUL:
@@ -79,7 +86,7 @@ func EvalCompute(in Instr, a, b, dstOld uint64) uint64 {
 	case F2I:
 		return uint64(int64(ff(a)))
 	}
-	panic("isa: EvalCompute on non-compute opcode " + in.Op.String())
+	panic("isa: EvalCompute on non-compute opcode " + op.String())
 }
 
 // BranchTaken evaluates a conditional/unconditional branch condition given

@@ -11,7 +11,10 @@
 // 64-bit register contents as IEEE-754 doubles.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Reg names one of the 32 architectural registers. R0 is hardwired to zero:
 // writes to it are discarded and reads always return 0, which gives the
@@ -326,10 +329,28 @@ func (in Instr) Validate(progLen int) error {
 
 // Program is an executable sequence of instructions. Execution begins at
 // index 0 and ends at a HALT (or by running off the end, which is an error).
+//
+// Because of the decode cache, Code must not be mutated after the first
+// Decoded call; mutate a Clone instead (the cache is not copied).
 type Program struct {
 	Code []Instr
 	// Name labels the program in reports.
 	Name string
+
+	// dec caches the pre-decoded form; built lazily by Decoded. The Once
+	// makes concurrent first use safe (the harness runs several policies
+	// over one shared Program). A typed pointer (rather than an atomic
+	// one) keeps Programs comparable with reflect.DeepEqual: two
+	// independently decoded caches of equal code are deeply equal.
+	decOnce sync.Once
+	dec     *Decoded
+}
+
+// Decoded returns the pre-decoded form of the program, building and
+// caching it on first use.
+func (p *Program) Decoded() *Decoded {
+	p.decOnce.Do(func() { p.dec = decode(p.Code) })
+	return p.dec
 }
 
 // Validate checks every instruction.

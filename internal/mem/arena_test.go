@@ -1,0 +1,177 @@
+package mem
+
+import "testing"
+
+// addr builds a byte address from a word index.
+func wordAddr(w uint64) uint64 { return w << 3 }
+
+func TestPageBoundaryAccesses(t *testing.T) {
+	m := NewMemory()
+	// Last word of page 0, first word of page 1, and the pair spanning the
+	// initial one-page arena into its first growth step.
+	boundary := []uint64{
+		wordAddr(pageWords - 1),
+		wordAddr(pageWords),
+		wordAddr(2*pageWords - 1),
+		wordAddr(2 * pageWords),
+	}
+	for i, a := range boundary {
+		m.Store(a, uint64(i)+100)
+	}
+	for i, a := range boundary {
+		if got := m.Load(a); got != uint64(i)+100 {
+			t.Errorf("Load(%#x) = %d, want %d", a, got, i+100)
+		}
+	}
+	// Neighbouring words must be untouched.
+	if m.Load(wordAddr(pageWords-2)) != 0 || m.Load(wordAddr(2*pageWords+1)) != 0 {
+		t.Error("boundary stores leaked into neighbouring words")
+	}
+}
+
+// TestMultiRegionWorkloadLayout exercises the workload-style address layout:
+// a handful of widely separated bases, each beyond the primary arena's reach.
+// The first four anchor flat windows; the fifth overflows to the page map.
+func TestMultiRegionWorkloadLayout(t *testing.T) {
+	m := NewMemory()
+	bases := []uint64{0x0100_0000, 0x0800_0000, 0x1000_0000, 0x2000_0000, 0x4000_0000}
+	for i, b := range bases {
+		m.Store(b, uint64(i)+1)
+		m.Store(b+8*1024, uint64(i)+51) // same cluster, later page
+	}
+	for i, b := range bases {
+		if m.Load(b) != uint64(i)+1 || m.Load(b+8*1024) != uint64(i)+51 {
+			t.Errorf("cluster %d (%#x) lost its values", i, b)
+		}
+	}
+	if len(m.extras) != maxExtraRegions {
+		t.Errorf("extras = %d regions, want %d", len(m.extras), maxExtraRegions)
+	}
+	// The first four clusters live in flat windows; the fifth does not.
+	for i, b := range bases[:4] {
+		if _, _, ok := m.WindowFor(b); !ok {
+			t.Errorf("cluster %d (%#x) not in any flat window", i, b)
+		}
+	}
+	if _, _, ok := m.WindowFor(bases[4]); ok {
+		t.Error("fifth cluster unexpectedly in a flat window")
+	}
+	if len(m.pages) == 0 {
+		t.Error("fifth cluster did not fall back to the page map")
+	}
+}
+
+// TestWindowViewStaleness locks the re-fetch contract of ArenaView/WindowFor:
+// a store beyond the held view grows the backing array, and only a re-fetched
+// view observes the extension.
+func TestWindowViewStaleness(t *testing.T) {
+	m := NewMemory()
+	m.Store(0, 7)
+	base, view := m.ArenaView()
+	if base != 0 || uint64(len(view)) != pageWords {
+		t.Fatalf("initial view base %d len %d, want 0 and %d", base, len(view), pageWords)
+	}
+	// Store past the view: slow path, arena reallocates.
+	far := wordAddr(4 * pageWords)
+	m.Store(far, 9)
+	if uint64(len(view)) != pageWords {
+		t.Error("held view must not change length")
+	}
+	base2, view2 := m.ArenaView()
+	if base2 != 0 || uint64(len(view2)) <= uint64(len(view)) {
+		t.Fatalf("re-fetched view base %d len %d, want grown window at base 0", base2, len(view2))
+	}
+	if view2[0] != 7 || view2[4*pageWords] != 9 {
+		t.Error("grown arena lost values")
+	}
+	gotBase, words, ok := m.WindowFor(far)
+	if !ok || gotBase != 0 || words[far>>3] != 9 {
+		t.Errorf("WindowFor(%#x) = (%d, len %d, %v), want the primary window", far, gotBase, len(words), ok)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip snapshots a memory whose contents span all
+// three representations (primary arena, secondary regions, page map),
+// mutates the original in each representation, and checks the snapshot is
+// an independent, faithful copy.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := NewMemory()
+	mutate := func(mm *Memory, v uint64) {
+		mm.Store(0x100, v)           // primary arena
+		mm.Store(0x0800_0000, v+1)   // secondary region
+		mm.Store(0x4000_0000, v+2)   // page map (after slots exhausted below)
+		mm.Store(0x4000_0000+8, v+3) // same sparse page
+	}
+	// Exhaust the flat-region slots so 0x4000_0000 really is page-mapped.
+	for _, b := range []uint64{0x100, 0x0800_0000, 0x1000_0000, 0x2000_0000} {
+		m.Store(b, 1)
+	}
+	mutate(m, 10)
+	snap := m.Clone()
+	if !m.Equal(snap) || snap.Footprint() != m.Footprint() {
+		t.Fatal("snapshot differs from original")
+	}
+
+	mutate(m, 20)
+	if m.Equal(snap) {
+		t.Fatal("mutation did not diverge from snapshot")
+	}
+	d := m.Diff(snap, 16)
+	if len(d) != 4 {
+		t.Fatalf("Diff found %d words (%#x), want 4", len(d), d)
+	}
+	if snap.Load(0x100) != 10 || snap.Load(0x4000_0000) != 12 {
+		t.Error("mutating the original leaked into the snapshot")
+	}
+
+	// Restore: replaying the same mutation on a fresh clone of the snapshot
+	// reconverges with the original, bit for bit.
+	restore := snap.Clone()
+	mutate(restore, 20)
+	if !restore.Equal(m) {
+		t.Errorf("restore+replay differs from original: %#x", restore.Diff(m, 8))
+	}
+}
+
+// TestEqualAcrossRepresentations: the same contents written in different
+// orders land in different representations (which base anchors the primary
+// arena depends on store order); Equal, Diff and Footprint must not care.
+func TestEqualAcrossRepresentations(t *testing.T) {
+	bases := []uint64{0x0100_0000, 0x0800_0000, 0x1000_0000, 0x2000_0000, 0x4000_0000}
+	fill := func(order []uint64) *Memory {
+		m := NewMemory()
+		for _, b := range order {
+			m.Store(b, b^0xABCD)
+			m.Store(b+4096, b+1)
+		}
+		return m
+	}
+	fwd := fill(bases)
+	rev := fill([]uint64{bases[4], bases[3], bases[2], bases[1], bases[0]})
+	if fwd.arenaBase == rev.arenaBase {
+		t.Fatal("test expects different anchors for different store orders")
+	}
+	if !fwd.Equal(rev) || !rev.Equal(fwd) {
+		t.Errorf("same contents, different representation: Diff = %#x", fwd.Diff(rev, 8))
+	}
+	if fwd.Footprint() != rev.Footprint() {
+		t.Errorf("Footprint %d vs %d across representations", fwd.Footprint(), rev.Footprint())
+	}
+}
+
+// TestStoreZeroToUntouchedPage: once the flat-region slots are exhausted, a
+// zero store to a never-touched page must not allocate backing storage.
+func TestStoreZeroToUntouchedPage(t *testing.T) {
+	m := NewMemory()
+	for _, b := range []uint64{0x100, 0x0800_0000, 0x1000_0000, 0x2000_0000} {
+		m.Store(b, 1)
+	}
+	pagesBefore := len(m.pages)
+	m.Store(0x7000_0000, 0)
+	if len(m.pages) != pagesBefore {
+		t.Error("zero store to untouched page allocated a page")
+	}
+	if m.Load(0x7000_0000) != 0 {
+		t.Error("untouched word must read zero")
+	}
+}

@@ -94,6 +94,28 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// ProbeHit is the hit-only half of Access: it scans for a tag match with
+// no victim selection or allocation, updating LRU and hit stats exactly as
+// Access would on a hit. On a miss it changes nothing except the LRU clock
+// (which advances once more when the caller follows up with Access; clock
+// values only matter relatively, so the extra tick cannot reorder any LRU
+// decision) and counts nothing — the follow-up Access records the miss.
+func (c *Cache) ProbeHit(addr uint64, write bool) bool {
+	set, tag := c.locate(addr)
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	return false
+}
+
 // Access looks up addr, updating LRU and stats. On a miss it allocates the
 // line, evicting the LRU way; evictedDirty reports whether a dirty victim
 // was written back. write marks the (possibly newly allocated) line dirty.
@@ -199,8 +221,21 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // NewDefaultHierarchy builds the paper Table 3 hierarchy.
 func NewDefaultHierarchy() *Hierarchy { return NewHierarchy(DefaultHierarchyConfig()) }
 
-// Access performs a load (write=false) or store (write=true) at addr.
+// Access performs a load (write=false) or store (write=true) at addr. The
+// common case — an L1 hit — takes a single allocation-free tag probe; only
+// misses walk the levels with victim bookkeeping.
 func (h *Hierarchy) Access(addr uint64, write bool) AccessResult {
+	if h.L1.ProbeHit(addr, write) {
+		h.Serviced[energy.L1]++
+		return AccessResult{Level: energy.L1}
+	}
+	return h.AccessMiss(addr, write)
+}
+
+// AccessMiss is the general level walk, taken after an L1 ProbeHit miss.
+// Interpreter loops that inline the L1 probe call this directly; combined
+// with a preceding failed probe it is state- and stats-identical to Access.
+func (h *Hierarchy) AccessMiss(addr uint64, write bool) AccessResult {
 	var r AccessResult
 	if hit, evictedDirty := h.L1.Access(addr, write); hit {
 		r.Level = energy.L1

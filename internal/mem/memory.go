@@ -36,6 +36,18 @@ const (
 	pageShift = 12 // 4096 words (32 KiB) per page
 	pageWords = 1 << pageShift
 	pageMask  = pageWords - 1
+
+	// maxArenaWords caps each contiguous arena region at 4M words (32 MiB).
+	// The cap comfortably covers one workload data region and the
+	// generator's whole address window, while keeping distant regions
+	// (workload bases are >100 MiB apart) from inflating a single
+	// allocation; each such region instead anchors its own flat window.
+	maxArenaWords = 1 << 22
+
+	// maxExtraRegions bounds the secondary flat windows (beyond the
+	// primary arena). Workloads use at most four disjoint data regions;
+	// anything past the bound falls back to the sparse page map.
+	maxExtraRegions = 3
 )
 
 type page [pageWords]uint64
@@ -46,8 +58,40 @@ type page [pageWords]uint64
 // error) before accessing, so the accessors' panic below is a
 // defense-in-depth invariant for internal misuse, not a reachable failure
 // mode for bad program input.
+//
+// Representation: the page of the first store anchors a contiguous arena —
+// a flat []uint64 indexed by (word - arenaBase) — which grows by doubling
+// (capped at maxArenaWords) as nearby stores extend it. Workload kernels
+// and generated programs keep nearly all traffic inside one such window,
+// so the hot path is a single bounds check and slice index. Stores landing
+// outside every existing window anchor up to maxExtraRegions further flat
+// regions (workloads lay data out in a handful of widely separated bases);
+// only addresses beyond those use the page map, fronted by a one-entry
+// page cache. Region growth windows are fixed at anchor time and mutually
+// disjoint. Invariant: a page number inside any region's current words is
+// never present in the page map (growth migrates and deletes overlapping
+// pages), so every word has exactly one home.
 type Memory struct {
 	pages map[uint64]*page
+
+	arenaBase uint64 // word index of arena[0]; page-aligned
+	arena     []uint64
+
+	// extras are the secondary flat regions, in anchor order.
+	extras []region
+
+	// One-entry cache of the last page-map page touched.
+	lastPN   uint64
+	lastPage *page
+}
+
+// region is one secondary flat window: words[0] sits at word index base,
+// and the window may grow up to lim words (fixed at anchor time so
+// windows never collide).
+type region struct {
+	base  uint64
+	lim   uint64
+	words []uint64
 }
 
 // NewMemory returns an empty memory (all words read as zero).
@@ -55,27 +99,129 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
-func wordIndex(addr uint64) (pageNo, off uint64) {
+// Load returns the word at byte address addr.
+func (m *Memory) Load(addr uint64) uint64 {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("mem: misaligned access at %#x", addr))
 	}
 	w := addr >> 3
-	return w >> pageShift, w & pageMask
+	if off := w - m.arenaBase; off < uint64(len(m.arena)) {
+		return m.arena[off]
+	}
+	return m.loadPaged(w)
 }
 
-// Load returns the word at byte address addr.
-func (m *Memory) Load(addr uint64) uint64 {
-	pn, off := wordIndex(addr)
+func (m *Memory) loadPaged(w uint64) uint64 {
+	for i := range m.extras {
+		r := &m.extras[i]
+		if off := w - r.base; off < uint64(len(r.words)) {
+			return r.words[off]
+		}
+	}
+	pn, off := w>>pageShift, w&pageMask
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage[off]
+	}
 	p := m.pages[pn]
 	if p == nil {
 		return 0
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p[off]
+}
+
+// ArenaView returns the current flat-arena window: the word index of the
+// first element and the backing words. Interpreter loops hold the view in
+// locals so the L1-hit memory path is a subtract, compare and index with no
+// call. Any store that misses the view (Store taking its slow path) may
+// reallocate the arena; after such a store the caller must re-fetch the
+// view. Loads never invalidate it.
+func (m *Memory) ArenaView() (baseWord uint64, words []uint64) {
+	return m.arenaBase, m.arena
+}
+
+// WindowFor returns the flat window holding addr — the primary arena or a
+// secondary region — as the word index of its first element plus backing
+// words, or ok=false when addr lives in no flat region. Interpreter loops
+// use it to refresh their inline window caches after a slow-path access;
+// the same staleness rule as ArenaView applies.
+func (m *Memory) WindowFor(addr uint64) (baseWord uint64, words []uint64, ok bool) {
+	w := addr >> 3
+	if off := w - m.arenaBase; off < uint64(len(m.arena)) {
+		return m.arenaBase, m.arena, true
+	}
+	for i := range m.extras {
+		r := &m.extras[i]
+		if off := w - r.base; off < uint64(len(r.words)) {
+			return r.base, r.words, true
+		}
+	}
+	return 0, nil, false
 }
 
 // Store writes the word at byte address addr.
 func (m *Memory) Store(addr, val uint64) {
-	pn, off := wordIndex(addr)
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: misaligned access at %#x", addr))
+	}
+	w := addr >> 3
+	if off := w - m.arenaBase; off < uint64(len(m.arena)) {
+		m.arena[off] = val
+		return
+	}
+	m.storeSlow(w, val)
+}
+
+// storeSlow handles stores outside the current primary-arena words:
+// anchoring the arena on the first store, extending a region whose growth
+// window covers the address, anchoring a new secondary region for a fresh
+// address cluster, and falling back to the page map once the region slots
+// are exhausted.
+func (m *Memory) storeSlow(w, val uint64) {
+	if m.arena == nil {
+		base := w &^ uint64(pageMask)
+		m.arenaBase = base
+		m.arena = m.grown(base, nil, maxArenaWords, w-base+1)
+		m.arena[w-base] = val
+		return
+	}
+	if off := w - m.arenaBase; w >= m.arenaBase && off < maxArenaWords {
+		m.arena = m.grown(m.arenaBase, m.arena, maxArenaWords, off+1)
+		m.arena[off] = val
+		return
+	}
+	for i := range m.extras {
+		r := &m.extras[i]
+		if off := w - r.base; w >= r.base && off < r.lim {
+			if off >= uint64(len(r.words)) {
+				r.words = m.grown(r.base, r.words, r.lim, off+1)
+			}
+			r.words[off] = val
+			return
+		}
+	}
+	if len(m.extras) < maxExtraRegions {
+		base := w &^ uint64(pageMask)
+		// Fix the growth window at anchor time, clipped so it cannot
+		// collide with the primary window or any existing region.
+		lim := uint64(maxArenaWords)
+		if m.arenaBase > base {
+			if d := m.arenaBase - base; d < lim {
+				lim = d
+			}
+		}
+		for i := range m.extras {
+			if b := m.extras[i].base; b > base && b-base < lim {
+				lim = b - base
+			}
+		}
+		r := region{base: base, lim: lim}
+		r.words = m.grown(base, nil, lim, w-base+1)
+		r.words[w-base] = val
+		m.extras = append(m.extras, r)
+		return
+	}
+	pn, off := w>>pageShift, w&pageMask
 	p := m.pages[pn]
 	if p == nil {
 		if val == 0 {
@@ -84,7 +230,39 @@ func (m *Memory) Store(addr, val uint64) {
 		p = new(page)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	p[off] = val
+}
+
+// grown extends a flat region to at least minLen words (a page multiple,
+// doubling from one page, capped at lim), migrating any page-map pages the
+// widened window swallows, and returns the new backing slice. Callers
+// guarantee minLen <= lim; lim is a page multiple.
+func (m *Memory) grown(base uint64, words []uint64, lim, minLen uint64) []uint64 {
+	newLen := uint64(len(words))
+	if newLen >= minLen && newLen > 0 {
+		return words
+	}
+	if newLen == 0 {
+		newLen = pageWords
+	}
+	for newLen < minLen {
+		newLen *= 2
+	}
+	if newLen > lim {
+		newLen = lim
+	}
+	na := make([]uint64, newLen)
+	copy(na, words)
+	basePN := base >> pageShift
+	for pn := basePN + (uint64(len(words)) >> pageShift); pn < basePN+(newLen>>pageShift); pn++ {
+		if p := m.pages[pn]; p != nil {
+			copy(na[(pn-basePN)<<pageShift:], p[:])
+			delete(m.pages, pn)
+		}
+	}
+	m.lastPN, m.lastPage = 0, nil
+	return na
 }
 
 // LoadF returns the word at addr interpreted as a float64.
@@ -93,9 +271,70 @@ func (m *Memory) LoadF(addr uint64) float64 { return math.Float64frombits(m.Load
 // StoreF writes a float64 at addr.
 func (m *Memory) StoreF(addr uint64, f float64) { m.Store(addr, math.Float64bits(f)) }
 
+// arenaPages returns the arena length in whole pages (the arena is always
+// a page multiple).
+func (m *Memory) arenaPages() uint64 { return uint64(len(m.arena)) >> pageShift }
+
+// pageAt returns the backing words for page pn regardless of
+// representation — a view into the arena when pn falls inside its window,
+// the sparse page otherwise — or nil when the page has never been written.
+func (m *Memory) pageAt(pn uint64) *page {
+	if m.arena != nil {
+		basePN := m.arenaBase >> pageShift
+		if pn >= basePN && pn < basePN+m.arenaPages() {
+			return (*page)(m.arena[(pn-basePN)<<pageShift:])
+		}
+	}
+	for i := range m.extras {
+		r := &m.extras[i]
+		basePN := r.base >> pageShift
+		if pn >= basePN && pn < basePN+uint64(len(r.words))>>pageShift {
+			return (*page)(r.words[(pn-basePN)<<pageShift:])
+		}
+	}
+	return m.pages[pn]
+}
+
+// eachPN visits every page number with backing storage (arena pages first,
+// then sparse pages); visit returning false stops the walk.
+func (m *Memory) eachPN(visit func(pn uint64) bool) {
+	if m.arena != nil {
+		basePN := m.arenaBase >> pageShift
+		for i := uint64(0); i < m.arenaPages(); i++ {
+			if !visit(basePN + i) {
+				return
+			}
+		}
+	}
+	for ri := range m.extras {
+		r := &m.extras[ri]
+		basePN := r.base >> pageShift
+		for i := uint64(0); i < uint64(len(r.words))>>pageShift; i++ {
+			if !visit(basePN + i) {
+				return
+			}
+		}
+	}
+	for pn := range m.pages {
+		if !visit(pn) {
+			return
+		}
+	}
+}
+
 // Clone returns a deep copy (used by the verifier to snapshot initial state).
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
+	if m.arena != nil {
+		c.arenaBase = m.arenaBase
+		c.arena = append([]uint64(nil), m.arena...)
+	}
+	if len(m.extras) > 0 {
+		c.extras = make([]region, len(m.extras))
+		for i, r := range m.extras {
+			c.extras[i] = region{base: r.base, lim: r.lim, words: append([]uint64(nil), r.words...)}
+		}
+	}
 	for pn, p := range m.pages {
 		cp := *p
 		c.pages[pn] = &cp
@@ -103,7 +342,8 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
-// Equal reports whether two memories hold identical contents.
+// Equal reports whether two memories hold identical contents (regardless
+// of arena-versus-page representation).
 func (m *Memory) Equal(o *Memory) bool {
 	return m.diff(o, 1) == nil
 }
@@ -117,25 +357,29 @@ func (m *Memory) diff(o *Memory, max int) []uint64 {
 	var out []uint64
 	seen := make(map[uint64]bool)
 	collect := func(a, b *Memory) {
-		for pn, p := range a.pages {
+		a.eachPN(func(pn uint64) bool {
 			if seen[pn] {
-				continue
+				return true
 			}
 			seen[pn] = true
-			q := b.pages[pn]
+			p, q := a.pageAt(pn), b.pageAt(pn)
 			for off := 0; off < pageWords; off++ {
-				var qv uint64
+				var pv, qv uint64
+				if p != nil {
+					pv = p[off]
+				}
 				if q != nil {
 					qv = q[off]
 				}
-				if p[off] != qv {
+				if pv != qv {
 					out = append(out, ((pn<<pageShift)|uint64(off))<<3)
 					if len(out) >= max {
-						return
+						return false
 					}
 				}
 			}
-		}
+			return true
+		})
 	}
 	collect(m, o)
 	if len(out) < max {
@@ -152,12 +396,14 @@ func (m *Memory) diff(o *Memory, max int) []uint64 {
 // on the touched working set; zero stores to untouched pages don't count).
 func (m *Memory) Footprint() int {
 	n := 0
-	for _, p := range m.pages {
+	m.eachPN(func(pn uint64) bool {
+		p := m.pageAt(pn)
 		for _, w := range p {
 			if w != 0 {
 				n++
 			}
 		}
-	}
+		return true
+	})
 	return n
 }

@@ -1,0 +1,52 @@
+// Package pprofutil wires the -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof with consistent error handling, so
+// every binary in cmd/ exposes the same profiling surface.
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop function
+// that flushes and closes the file; call it exactly once (defer is typical).
+// An empty path is a no-op. Note that error paths exiting via os.Exit skip
+// deferred stops and lose the profile, as with go test -cpuprofile.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after forcing a GC, so the
+// profile reflects live objects rather than collection timing. An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

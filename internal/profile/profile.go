@@ -12,6 +12,10 @@
 //   - read-only address detection (program inputs: addresses never stored
 //     by the program);
 //   - last-value locality per static load (§5.6, Fig. 8).
+//
+// Static-PC-keyed structures are dense slices sized to the program length
+// (every retired instruction touches them), with maps reserved for the
+// genuinely sparse keys: address sets and producer distributions.
 package profile
 
 import (
@@ -106,47 +110,46 @@ func (li *LoadInfo) ValueLocality() float64 {
 	return float64(li.SameValue) / float64(li.Count-1)
 }
 
-// OperandKey identifies one source operand of one static instruction.
-type OperandKey struct {
-	PC      int
-	Operand int // 0 = Src1, 1 = Src2, 2 = Dst-as-source (FMA)
-}
-
-// Profile is the result of a profiling run.
+// Profile is the result of a profiling run. All slice fields are indexed by
+// static PC and sized to the program length.
 type Profile struct {
 	Program *isa.Program
 
-	// Producers maps each instruction source operand to the distribution of
-	// static PCs that produced the register value it consumed.
-	Producers map[OperandKey]ProducerDist
+	// Producers holds, per instruction and source-operand slot (0 = Src1,
+	// 1 = Src2, 2 = Dst-as-source for FMA), the distribution of static PCs
+	// that produced the register value the operand consumed. A nil
+	// distribution means the operand was never observed.
+	Producers [][3]ProducerDist
 
-	// Loads maps static load PC -> profiling info.
-	Loads map[int]*LoadInfo
+	// Loads holds per-static-load profiling info (nil for non-loads and
+	// never-executed loads).
+	Loads []*LoadInfo
 
-	// StoreValueProducer maps static store PC -> distribution of static PCs
-	// producing the stored value.
-	StoreValueProducer map[int]ProducerDist
+	// StoreValueProducer holds, per static store, the distribution of
+	// static PCs producing the stored value (nil if never executed).
+	StoreValueProducer []ProducerDist
 
-	// StoresConsumedBy maps static store PC -> set of static load PCs that
-	// observed a value written by that store (for dead-store analysis).
-	StoresConsumedBy map[int]map[int]bool
+	// StoresConsumedBy holds, per static store, the set of static load PCs
+	// that observed a value written by that store (for dead-store
+	// analysis). Nil for stores whose values were never loaded.
+	StoresConsumedBy []map[int]bool
 
 	// StoreCount is the dynamic execution count per static store.
-	StoreCount map[int]uint64
+	StoreCount []uint64
 
 	// ReadOnly reports addresses the program never stored to. It is
 	// address-level: a load PC is a "read-only load" if every address it
 	// touched is read-only.
 	writtenAddrs map[uint64]bool
-	// LoadAllReadOnly maps static load PC -> whether all its observed
+	// LoadAllReadOnly reports, per static load, whether all its observed
 	// addresses were never written during the run.
-	LoadAllReadOnly map[int]bool
+	LoadAllReadOnly []bool
 	// loadTouched records which addresses each load PC touched, so
 	// read-only classification can be finalized after the run.
-	loadTouched map[int]map[uint64]bool
+	loadTouched []map[uint64]bool
 
 	// InstrCount is the dynamic count per static PC (all opcodes).
-	InstrCount map[int]uint64
+	InstrCount []uint64
 
 	// TotalDynamic is the total dynamic instruction count.
 	TotalDynamic uint64
@@ -158,17 +161,18 @@ func (p *Profile) ReadOnlyAddr(addr uint64) bool { return !p.writtenAddrs[addr] 
 // Collect profiles program p over a fresh default hierarchy and a *clone* of
 // the provided initial memory (the caller's memory is left untouched).
 func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile, error) {
+	n := len(p.Code)
 	prof := &Profile{
 		Program:            p,
-		Producers:          make(map[OperandKey]ProducerDist),
-		Loads:              make(map[int]*LoadInfo),
-		StoreValueProducer: make(map[int]ProducerDist),
-		StoresConsumedBy:   make(map[int]map[int]bool),
-		StoreCount:         make(map[int]uint64),
-		writtenAddrs:       make(map[uint64]bool),
-		LoadAllReadOnly:    make(map[int]bool),
-		loadTouched:        make(map[int]map[uint64]bool),
-		InstrCount:         make(map[int]uint64),
+		Producers:          make([][3]ProducerDist, n),
+		Loads:              make([]*LoadInfo, n),
+		StoreValueProducer: make([]ProducerDist, n),
+		StoresConsumedBy:   make([]map[int]bool, n),
+		StoreCount:         make([]uint64, n),
+		writtenAddrs:       make(map[uint64]bool, n),
+		LoadAllReadOnly:    make([]bool, n),
+		loadTouched:        make([]map[uint64]bool, n),
+		InstrCount:         make([]uint64, n),
 	}
 
 	// regProducer tracks the static PC that last wrote each register
@@ -183,46 +187,48 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 		valueProducer int
 		storePC       int
 	}
-	memProd := make(map[uint64]memOrigin)
+	memProd := make(map[uint64]memOrigin, n)
+
+	record := func(pc, opIdx int, r isa.Reg) {
+		if r == isa.R0 {
+			return
+		}
+		d := prof.Producers[pc][opIdx]
+		if d == nil {
+			d = make(ProducerDist)
+			prof.Producers[pc][opIdx] = d
+		}
+		d[regProducer[r]]++
+	}
+
+	kinds := p.Decoded().Kind
 
 	core := cpu.New(model, mem.NewDefaultHierarchy(), initial.Clone())
-	core.Hook = func(ev cpu.Event) {
-		prof.InstrCount[ev.PC]++
+	core.Hook = func(ev *cpu.Event) {
+		pc := ev.PC
+		prof.InstrCount[pc]++
 		prof.TotalDynamic++
-		in := ev.In
+		in := &ev.In
 
-		record := func(opIdx int, r isa.Reg) {
-			if r == isa.R0 {
-				return
-			}
-			k := OperandKey{PC: ev.PC, Operand: opIdx}
-			d := prof.Producers[k]
-			if d == nil {
-				d = make(ProducerDist)
-				prof.Producers[k] = d
-			}
-			d[regProducer[r]]++
-		}
-
-		switch {
-		case isa.Recomputable(in.Op):
+		switch kinds[pc] {
+		case isa.KindCompute:
 			if in.Op != isa.LI { // LI has no register inputs
-				record(0, in.Src1)
+				record(pc, 0, in.Src1)
 				if in.Op != isa.MOV && in.Op != isa.ADDI && in.Op != isa.FNEG &&
 					in.Op != isa.FSQRT && in.Op != isa.FABS && in.Op != isa.I2F && in.Op != isa.F2I {
-					record(1, in.Src2)
+					record(pc, 1, in.Src2)
 				}
 				if isa.ReadsDst(in.Op) {
-					record(2, in.Dst)
+					record(pc, 2, in.Dst)
 				}
 			}
-			regProducer[in.Dst] = ev.PC
-		case in.Op == isa.LD:
-			record(0, in.Src1) // address operand
-			li := prof.Loads[ev.PC]
+			regProducer[in.Dst] = pc
+		case isa.KindLoad:
+			record(pc, 0, in.Src1) // address operand
+			li := prof.Loads[pc]
 			if li == nil {
-				li = &LoadInfo{PC: ev.PC, ValueProducer: make(ProducerDist)}
-				prof.Loads[ev.PC] = li
+				li = &LoadInfo{PC: pc, ValueProducer: make(ProducerDist)}
+				prof.Loads[pc] = li
 			}
 			li.Count++
 			li.ByLevel[ev.Level]++
@@ -238,31 +244,35 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 					set = make(map[int]bool)
 					prof.StoresConsumedBy[org.storePC] = set
 				}
-				set[ev.PC] = true
+				set[pc] = true
 			} else {
 				li.ValueProducer[NoProducer]++
 			}
-			t := prof.loadTouched[ev.PC]
+			t := prof.loadTouched[pc]
 			if t == nil {
 				t = make(map[uint64]bool)
-				prof.loadTouched[ev.PC] = t
+				prof.loadTouched[pc] = t
 			}
 			t[ev.Addr] = true
 			// A load is a register def for dependence purposes.
-			regProducer[in.Dst] = ev.PC
-		case in.Op == isa.ST:
-			record(0, in.Src1) // address operand
-			record(1, in.Src2) // value operand
-			prof.StoreCount[ev.PC]++
-			prof.writtenAddrs[ev.Addr] = true
-			memProd[ev.Addr] = memOrigin{valueProducer: regProducer[in.Src2], storePC: ev.PC}
-		default:
-			// Branches/NOP/HALT: record condition operand producers too, so
-			// the compiler can reason about full dependences if it wants.
-			if isa.IsBranch(in.Op) && in.Op != isa.JMP && in.Op != isa.HALT {
-				record(0, in.Src1)
-				record(1, in.Src2)
+			regProducer[in.Dst] = pc
+		case isa.KindStore:
+			record(pc, 0, in.Src1) // address operand
+			record(pc, 1, in.Src2) // value operand
+			prof.StoreCount[pc]++
+			vp := prof.StoreValueProducer[pc]
+			if vp == nil {
+				vp = make(ProducerDist)
+				prof.StoreValueProducer[pc] = vp
 			}
+			vp[regProducer[in.Src2]]++
+			prof.writtenAddrs[ev.Addr] = true
+			memProd[ev.Addr] = memOrigin{valueProducer: regProducer[in.Src2], storePC: pc}
+		case isa.KindCondBr:
+			// Branches: record condition operand producers too, so the
+			// compiler can reason about full dependences if it wants.
+			record(pc, 0, in.Src1)
+			record(pc, 1, in.Src2)
 		}
 	}
 
@@ -272,6 +282,9 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 
 	// Finalize per-load read-only classification.
 	for pc, touched := range prof.loadTouched {
+		if touched == nil {
+			continue
+		}
 		ro := true
 		for a := range touched {
 			if prof.writtenAddrs[a] {
@@ -287,7 +300,10 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 // DominantProducer returns the dominant producer of an operand, or
 // (NoProducer, 0, false) if the operand was never observed.
 func (p *Profile) DominantProducer(pc, operand int) (int, float64, bool) {
-	d := p.Producers[OperandKey{PC: pc, Operand: operand}]
+	if pc < 0 || pc >= len(p.Producers) {
+		return NoProducer, 0, false
+	}
+	d := p.Producers[pc][operand]
 	if d == nil {
 		return NoProducer, 0, false
 	}
@@ -296,11 +312,12 @@ func (p *Profile) DominantProducer(pc, operand int) (int, float64, bool) {
 
 // SortedLoadPCs returns load PCs in ascending order (deterministic walks).
 func (p *Profile) SortedLoadPCs() []int {
-	pcs := make([]int, 0, len(p.Loads))
-	for pc := range p.Loads {
-		pcs = append(pcs, pc)
+	var pcs []int
+	for pc, li := range p.Loads {
+		if li != nil {
+			pcs = append(pcs, pc)
+		}
 	}
-	sort.Ints(pcs)
 	return pcs
 }
 
@@ -311,7 +328,10 @@ func (p *Profile) SortedLoadPCs() []int {
 // constitute program output).
 func (p *Profile) DeadStorePCs(swapped map[int]bool, alsoUnread bool) []int {
 	var out []int
-	for st := range p.StoreCount {
+	for st, count := range p.StoreCount {
+		if count == 0 {
+			continue
+		}
 		consumers := p.StoresConsumedBy[st]
 		if len(consumers) == 0 {
 			if alsoUnread {
@@ -330,6 +350,5 @@ func (p *Profile) DeadStorePCs(swapped map[int]bool, alsoUnread bool) []int {
 			out = append(out, st)
 		}
 	}
-	sort.Ints(out)
 	return out
 }
