@@ -1,0 +1,175 @@
+// Thin client mode: with -serve-addr, the benchmark runs on an amnesiacd
+// instance instead of in-process. The client submits the suite job,
+// follows the SSE progress stream, then fetches and renders the cached or
+// freshly computed report.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/server"
+	"github.com/amnesiac-sim/amnesiac/internal/stats"
+)
+
+// remoteClient talks to one amnesiacd base URL (e.g. http://127.0.0.1:8080).
+type remoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newRemoteClient(base string) *remoteClient {
+	return &remoteClient{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+func (c *remoteClient) submit(spec server.JobSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return st, fmt.Errorf("amnesiac: server rejected job (%s): %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("amnesiac: bad job status from server: %w", err)
+	}
+	return st, nil
+}
+
+// follow streams the job's SSE events, echoing progress to stderr, until a
+// terminal state event arrives. Falls back to polling if the stream drops.
+func (c *remoteClient) follow(id string) (server.JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err == nil && resp.StatusCode == http.StatusOK {
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev server.Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				continue
+			}
+			switch ev.Type {
+			case "progress":
+				fmt.Fprintf(os.Stderr, "amnesiac: %s %s (%d/%d)\n", ev.Workload, ev.Stage, ev.Done, ev.Total)
+			case "state":
+				fmt.Fprintf(os.Stderr, "amnesiac: job %s %s\n", id, ev.State)
+			}
+		}
+	} else if resp != nil {
+		resp.Body.Close()
+	}
+	// The stream ended (or never opened): settle on the authoritative
+	// status, polling until the job is terminal.
+	for {
+		st, err := c.status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateTimeout, server.StateCanceled:
+			return st, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (c *remoteClient) status(id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("amnesiac: job status: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (c *remoteClient) report(key string) (*server.Report, error) {
+	resp, err := c.hc.Get(c.base + "/v1/reports/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("amnesiac: report fetch: %s", resp.Status)
+	}
+	var rep server.Report
+	return &rep, json.NewDecoder(resp.Body).Decode(&rep)
+}
+
+// runRemote is the -serve-addr path of cmd/amnesiac: one benchmark, one
+// suite job, rendered like the local mode's table.
+func runRemote(addr, bench string, scale float64, maxInstrs uint64, policies []string, timeout time.Duration) error {
+	c := newRemoteClient(addr)
+	spec := server.JobSpec{
+		Kind:      server.KindSuite,
+		Workloads: []string{bench},
+		Scale:     scale,
+		MaxInstrs: maxInstrs,
+		Policies:  policies,
+	}
+	if timeout > 0 {
+		spec.TimeoutMS = timeout.Milliseconds()
+	}
+	st, err := c.submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "amnesiac: job %s (key %.12s…) state %s cache_hit=%v\n", st.ID, st.Key, st.State, st.CacheHit)
+	if st.State != server.StateDone {
+		if st, err = c.follow(st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("amnesiac: job %s finished in state %s: %s", st.ID, st.State, st.Error)
+	}
+	rep, err := c.report(st.Key)
+	if err != nil {
+		return err
+	}
+	renderRemote(os.Stdout, rep, st.CacheHit)
+	return nil
+}
+
+func renderRemote(w io.Writer, rep *server.Report, cacheHit bool) {
+	source := "computed"
+	if cacheHit {
+		source = "cache hit"
+	}
+	for _, wr := range rep.Suite {
+		fmt.Fprintf(w, "benchmark %s (%s), scale %.2f [%s]\n", wr.Name, wr.Program, rep.Spec.Scale, source)
+		fmt.Fprintf(w, "classic: %.0f nJ, %.0f ns, EDP %.3e nJ*ns, %d instrs (%d loads, %d stores)\n",
+			wr.Classic.EnergyNJ, wr.Classic.TimeNS, wr.Classic.EDP,
+			wr.Classic.Instrs, wr.Classic.Loads, wr.Classic.Stores)
+		fmt.Fprintf(w, "compiled slices: %d\n", wr.Slices)
+		t := stats.NewTable("Policy", "Energy (nJ)", "Time (ns)", "EDP gain", "Energy gain", "Time gain", "RCMP fired/total", "Verified")
+		for _, p := range wr.Policies {
+			t.Row(p.Label,
+				fmt.Sprintf("%.0f", p.EnergyNJ), fmt.Sprintf("%.0f", p.TimeNS),
+				fmt.Sprintf("%+.2f%%", p.EDPGainPct), fmt.Sprintf("%+.2f%%", p.EnergyGainPct), fmt.Sprintf("%+.2f%%", p.TimeGainPct),
+				fmt.Sprintf("%d/%d", p.RcmpFired, p.RcmpTotal), p.Verified)
+		}
+		t.Render(w)
+	}
+}

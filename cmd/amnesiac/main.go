@@ -6,6 +6,7 @@
 //
 //	amnesiac -bench is -scale 0.5
 //	amnesiac -bench mcf -policies Compiler,FLC
+//	amnesiac -bench is -serve-addr http://127.0.0.1:8080   # run on amnesiacd
 //	amnesiac -list
 package main
 
@@ -32,6 +33,8 @@ func main() {
 		maxInstr   = flag.Int64("maxinstrs", 0, "per-simulation dynamic instruction budget (0 = default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		serveAddr  = flag.String("serve-addr", "", "amnesiacd base URL; run the benchmark as a service job instead of in-process")
+		jobTimeout = flag.Duration("job-timeout", 0, "deadline for the remote job (with -serve-addr; 0 = none)")
 	)
 	flag.Parse()
 
@@ -68,6 +71,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *serveAddr != "" {
+		var pols []string
+		for _, p := range strings.Split(*policies, ",") {
+			pols = append(pols, strings.TrimSpace(p))
+		}
+		if err := runRemote(*serveAddr, w.Name, *scale, uint64(*maxInstr), pols, *jobTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := harness.DefaultConfig()

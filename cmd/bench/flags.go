@@ -4,10 +4,10 @@ import "github.com/amnesiac-sim/amnesiac/internal/cliutil"
 
 // validateFlags rejects nonsensical flag values up front via the shared
 // cliutil checks, so every binary reports identical diagnostics.
-func validateFlags(scale float64, workers int, maxInstrs int64) error {
+func validateFlags(scale float64, runs int, maxInstrs int64) error {
 	return cliutil.All(
-		cliutil.Scale("amnesiac", scale),
-		cliutil.Workers("amnesiac", workers),
-		cliutil.MaxInstrs("amnesiac", maxInstrs),
+		cliutil.Scale("bench", scale),
+		cliutil.Runs("bench", runs),
+		cliutil.MaxInstrs("bench", maxInstrs),
 	)
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		scale     float64
+		runs      int
+		maxInstrs int64
+		wantErr   string
+	}{
+		{"defaults", 0.3, 3, 0, ""},
+		{"explicit", 0.05, 1, 1_000_000, ""},
+		{"zero scale", 0, 3, 0, "bench: -scale must be positive"},
+		{"zero runs", 0.3, 0, 0, "bench: -runs must be positive"},
+		{"negative budget", 0.3, 3, -1, "bench: -maxinstrs must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.scale, tc.runs, tc.maxInstrs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

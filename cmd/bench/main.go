@@ -237,16 +237,8 @@ func main() {
 		fmt.Printf("bench: %s is a valid interpreter-throughput report\n", *checkPath)
 		return
 	}
-	if *scale <= 0 {
-		fmt.Fprintf(os.Stderr, "bench: -scale must be positive, got %g\n", *scale)
-		os.Exit(2)
-	}
-	if *runs <= 0 {
-		fmt.Fprintf(os.Stderr, "bench: -runs must be positive, got %d\n", *runs)
-		os.Exit(2)
-	}
-	if *maxInstr < 0 {
-		fmt.Fprintf(os.Stderr, "bench: -maxinstrs must be >= 0, got %d\n", *maxInstr)
+	if err := validateFlags(*scale, *runs, *maxInstr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

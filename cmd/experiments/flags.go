@@ -1,22 +1,14 @@
 package main
 
-import "fmt"
+import "github.com/amnesiac-sim/amnesiac/internal/cliutil"
 
-// validateFlags rejects nonsensical flag values up front with actionable
-// messages, instead of letting a negative worker count or instruction
-// budget surface later as a hang or a wrapped-around uint64.
+// validateFlags rejects nonsensical flag values up front via the shared
+// cliutil checks, so every binary reports identical diagnostics.
 func validateFlags(scale float64, workers int, maxInstrs int64, maxR float64) error {
-	if scale <= 0 {
-		return fmt.Errorf("experiments: -scale must be positive, got %g", scale)
-	}
-	if workers < 0 {
-		return fmt.Errorf("experiments: -workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
-	}
-	if maxInstrs < 0 {
-		return fmt.Errorf("experiments: -maxinstrs must be >= 0 (0 = default budget), got %d", maxInstrs)
-	}
-	if maxR <= 1 {
-		return fmt.Errorf("experiments: -maxr must exceed 1 (the sweep starts at Rdefault), got %g", maxR)
-	}
-	return nil
+	return cliutil.All(
+		cliutil.Scale("experiments", scale),
+		cliutil.Workers("experiments", workers),
+		cliutil.MaxInstrs("experiments", maxInstrs),
+		cliutil.MaxR("experiments", maxR),
+	)
 }

@@ -1,0 +1,50 @@
+// Package buildinfo identifies a deployed binary: a link-time version
+// string plus the VCS revision recorded by the Go toolchain. amnesiacd
+// reports it on /healthz and -version so running instances are
+// attributable to a commit.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing release string. Override at link time:
+//
+//	go build -ldflags "-X github.com/amnesiac-sim/amnesiac/internal/buildinfo.Version=v1.2.3"
+var Version = "dev"
+
+// Revision returns the VCS commit the binary was built from (short hash,
+// "+dirty" when the tree was modified), or "unknown" outside a VCS build.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// String renders the one-line identity used by -version and /healthz.
+func String() string {
+	return fmt.Sprintf("amnesiac %s (rev %s, %s %s/%s)",
+		Version, Revision(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,68 @@
+// Package cliutil centralizes flag validation shared by the repo's
+// binaries (amnesiac, experiments, bench, amnesiacd). Each check rejects a
+// nonsensical value up front with an actionable message prefixed by the
+// program name, instead of letting a negative worker count or instruction
+// budget surface later as a hang or a wrapped-around uint64.
+package cliutil
+
+import "fmt"
+
+// Scale validates a -scale workload scale factor.
+func Scale(prog string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s: -scale must be positive, got %g", prog, v)
+	}
+	return nil
+}
+
+// Workers validates a -workers pool size (0 = GOMAXPROCS).
+func Workers(prog string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s: -workers must be >= 0 (0 = GOMAXPROCS), got %d", prog, v)
+	}
+	return nil
+}
+
+// MaxInstrs validates a -maxinstrs dynamic instruction budget (0 = default).
+func MaxInstrs(prog string, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("%s: -maxinstrs must be >= 0 (0 = default budget), got %d", prog, v)
+	}
+	return nil
+}
+
+// Runs validates a -runs repetition count.
+func Runs(prog string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s: -runs must be positive, got %d", prog, v)
+	}
+	return nil
+}
+
+// Positive validates an arbitrary flag that must be >= 1 (queue sizes,
+// cache capacities, pool widths).
+func Positive(prog, flagName string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s: %s must be positive, got %d", prog, flagName, v)
+	}
+	return nil
+}
+
+// MaxR validates a -maxr break-even sweep bound (the sweep starts at
+// Rdefault, so the bound must exceed 1).
+func MaxR(prog string, v float64) error {
+	if v <= 1 {
+		return fmt.Errorf("%s: -maxr must exceed 1 (the sweep starts at Rdefault), got %g", prog, v)
+	}
+	return nil
+}
+
+// All returns the first non-nil error, so binaries can chain checks.
+func All(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if substr == "" {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if err == nil || !strings.Contains(err.Error(), substr) {
+		t.Fatalf("got %v, want error containing %q", err, substr)
+	}
+}
+
+func TestScale(t *testing.T) {
+	wantErr(t, Scale("p", 1.0), "")
+	wantErr(t, Scale("p", 0.01), "")
+	wantErr(t, Scale("p", 0), "p: -scale must be positive")
+	wantErr(t, Scale("prog", -1), "prog: -scale must be positive")
+}
+
+func TestWorkers(t *testing.T) {
+	wantErr(t, Workers("p", 0), "")
+	wantErr(t, Workers("p", 8), "")
+	wantErr(t, Workers("p", -2), "p: -workers must be >= 0")
+}
+
+func TestMaxInstrs(t *testing.T) {
+	wantErr(t, MaxInstrs("p", 0), "")
+	wantErr(t, MaxInstrs("p", 1_000_000), "")
+	wantErr(t, MaxInstrs("p", -5), "p: -maxinstrs must be >= 0")
+}
+
+func TestRuns(t *testing.T) {
+	wantErr(t, Runs("p", 3), "")
+	wantErr(t, Runs("p", 0), "p: -runs must be positive")
+	wantErr(t, Runs("p", -1), "p: -runs must be positive")
+}
+
+func TestPositive(t *testing.T) {
+	wantErr(t, Positive("p", "-queue", 64), "")
+	wantErr(t, Positive("p", "-queue", 0), "p: -queue must be positive")
+	wantErr(t, Positive("p", "-cache", -1), "p: -cache must be positive")
+}
+
+func TestMaxR(t *testing.T) {
+	wantErr(t, MaxR("p", 200), "")
+	wantErr(t, MaxR("p", 1), "p: -maxr must exceed 1")
+	wantErr(t, MaxR("p", -3), "p: -maxr must exceed 1")
+}
+
+func TestAll(t *testing.T) {
+	if err := All(nil, nil); err != nil {
+		t.Fatalf("All(nil, nil) = %v", err)
+	}
+	e1, e2 := errors.New("first"), errors.New("second")
+	if err := All(nil, e1, e2); err != e1 {
+		t.Fatalf("All returned %v, want first error", err)
+	}
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test if it does not within the deadline. The retry
+// loop absorbs scheduler lag between wg.Done and goroutine exit.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines alive, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunSuiteContextPreCancelled: a context that is already cancelled must
+// stop the suite before any simulation runs, drain the worker pool, and
+// surface context.Canceled.
+func TestRunSuiteContextPreCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var stages atomic.Int64
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = 2
+	cfg.Progress = func(Progress) { stages.Add(1) }
+
+	_, err := RunSuiteContext(ctx, cfg, workloads.Responsive()[:2])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSuiteContext = %v, want context.Canceled", err)
+	}
+	if n := stages.Load(); n != 0 {
+		t.Fatalf("pre-cancelled suite still ran %d stages", n)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRunSuiteContextMidCancel cancels from the first progress callback:
+// the pool must stop executing queued jobs promptly (strictly fewer stages
+// than the full grid) and leave no worker goroutines behind.
+func TestRunSuiteContextMidCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var stages atomic.Int64
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = 1 // serial pool: cancel lands before later queued jobs start
+	cfg.Progress = func(Progress) {
+		if stages.Add(1) == 1 {
+			cancel()
+		}
+	}
+
+	ws := workloads.Responsive()
+	_, err := RunSuiteContext(ctx, cfg, ws)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSuiteContext = %v, want context.Canceled", err)
+	}
+	total := int64(len(ws) * (1 + len(PolicyLabels)))
+	if n := stages.Load(); n >= total {
+		t.Fatalf("cancelled suite completed all %d/%d stages", n, total)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestBreakEvenContextCancelled: a cancelled sweep stops between probes.
+func TestBreakEvenContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = 1
+	_, err := BreakEvenContext(ctx, cfg, workloads.Responsive()[0], 200)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BreakEvenContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunSuiteContextBackground: the context plumbing must not perturb a
+// normal run — same results as the context-free entry point.
+func TestRunSuiteContextBackground(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = 2
+	ws := workloads.Responsive()[:1]
+	got, err := RunSuiteContext(context.Background(), cfg, ws)
+	if err != nil {
+		t.Fatalf("RunSuiteContext: %v", err)
+	}
+	if len(got) != 1 || got[0].Runs["Compiler"] == nil {
+		t.Fatalf("RunSuiteContext returned incomplete result: %+v", got)
+	}
+}

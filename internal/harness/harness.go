@@ -6,8 +6,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/amnesiac-sim/amnesiac/internal/amnesic"
 	"github.com/amnesiac-sim/amnesiac/internal/compiler"
@@ -49,6 +51,22 @@ type Config struct {
 	// compiled binaries, classic baselines) across harness entry points, so
 	// e.g. a Table 6 sweep after RunSuite reuses its compiles.
 	Cache *ArtifactCache
+	// Progress, when non-nil, is invoked once per completed suite stage
+	// (one prepare, or one policy simulation). It may be called
+	// concurrently from worker goroutines; callers must synchronize.
+	// Progress observers must not mutate cfg or the results.
+	Progress func(Progress)
+}
+
+// Progress reports one completed unit of RunSuite work. A suite over N
+// workloads has N*(1+len(PolicyLabels)) units: one prepare stage plus one
+// simulation per policy, per workload.
+type Progress struct {
+	Workload string // benchmark name
+	Stage    string // "prepare" or a policy label
+	Done     int    // units completed so far, including this one
+	Total    int    // total units in the suite
+	Failed   bool   // this stage returned an error
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -193,12 +211,22 @@ func swappedProfile(binary *compiler.Annotated, prof *profile.Profile, st amnesi
 }
 
 // RunSuite evaluates the given workloads, returning results in workload
-// order. The (workload × policy) grid runs as a job DAG over a bounded
-// worker pool of cfg.Workers goroutines (see scheduler.go); result assembly
-// is order-preserving, so the output is deep-equal — and renders
+// order. See RunSuiteContext.
+func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
+	return RunSuiteContext(context.Background(), cfg, ws)
+}
+
+// RunSuiteContext evaluates the given workloads, returning results in
+// workload order. The (workload × policy) grid runs as a job DAG over a
+// bounded worker pool of cfg.Workers goroutines (see scheduler.go); result
+// assembly is order-preserving, so the output is deep-equal — and renders
 // byte-identical reports — regardless of worker count. On failure the error
 // reported is the one a serial run would have hit first.
-func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
+//
+// Cancelling ctx stops the run at job granularity: in-flight simulations
+// finish, queued ones are dropped, the pool drains (no goroutine leak), and
+// ctx.Err() is returned. cfg.Progress observers see only completed stages.
+func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 	cfg = cfg.withDefaults()
 	cache := cfg.cache()
 
@@ -209,7 +237,16 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 	var errs errSet
 	rank := func(wIdx, pIdx int) int { return wIdx*(len(PolicyLabels)+1) + pIdx + 1 }
 
-	p := newPool(cfg.workerCount(), len(ws)*(1+len(PolicyLabels)))
+	total := len(ws) * (1 + len(PolicyLabels))
+	var done atomic.Int64
+	report := func(w, stage string, failed bool) {
+		n := int(done.Add(1))
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Workload: w, Stage: stage, Done: n, Total: total, Failed: failed})
+		}
+	}
+
+	p := newPool(ctx, cfg.workerCount(), total)
 	for i, w := range ws {
 		i, w := i, w
 		runs[i] = make([]*PolicyRun, len(PolicyLabels))
@@ -217,6 +254,7 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 			art, err := cache.get(cfg, w)
 			if err != nil {
 				errs.record(rank(i, -1), err)
+				report(w.Name, "prepare", true)
 				return
 			}
 			results[i] = &BenchResult{
@@ -224,6 +262,7 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 				Classic: art.Classic, Profile: art.Profile,
 				Ann: art.Ann, OracleAnn: art.OracleAnn,
 			}
+			report(w.Name, "prepare", false)
 			for j, label := range PolicyLabels {
 				j, label := j, label
 				p.submit(func() {
@@ -231,14 +270,19 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 					run, err := RunPolicy(cfg, binary, art.Initial, art.Classic, art.Profile, k, label)
 					if err != nil {
 						errs.record(rank(i, j), fmt.Errorf("harness: %s/%s: %w", w.Name, label, err))
+						report(w.Name, label, true)
 						return
 					}
 					runs[i][j] = run
+					report(w.Name, label, false)
 				})
 			}
 		})
 	}
 	p.wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: suite cancelled: %w", err)
+	}
 	if err := errs.first(); err != nil {
 		return nil, err
 	}
@@ -261,6 +305,12 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 // shared ArtifactCache, so a sweep after RunSuite reuses its compiles; the
 // two bracketing gainAt probes run concurrently when cfg allows parallelism.
 func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, error) {
+	return BreakEvenContext(context.Background(), cfg, w, maxFactor)
+}
+
+// BreakEvenContext is BreakEven with cancellation: the sweep checks ctx
+// between bisection probes and stops with ctx.Err() once cancelled.
+func BreakEvenContext(ctx context.Context, cfg Config, w *workloads.Workload, maxFactor float64) (float64, error) {
 	cfg = cfg.withDefaults()
 	base := cfg.Model
 	art, err := cfg.cache().get(cfg, w)
@@ -275,6 +325,9 @@ func BreakEven(cfg Config, w *workloads.Workload, maxFactor float64) (float64, e
 	// gainAt clones the model per probe (decisions stay frozen at base),
 	// so concurrent probes never share mutable state.
 	gainAt := func(factor float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("harness: break-even sweep cancelled: %w", err)
+		}
 		m := base.Clone()
 		m.RScale = factor
 		classic, err := cpu.RunProgramLimit(m, prog, initial.Clone(), cfg.MaxInstrs)

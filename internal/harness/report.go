@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -192,17 +193,23 @@ func Fig8(w io.Writer, results []*BenchResult) {
 // per-benchmark sweeps are independent, so they fan out over the worker
 // pool; rows render in workload order regardless of completion order.
 func Table6(w io.Writer, cfg Config, ws []*workloads.Workload, maxFactor float64) error {
+	return Table6Context(context.Background(), w, cfg, ws, maxFactor)
+}
+
+// Table6Context is Table6 with cancellation, at per-probe granularity (see
+// BreakEvenContext).
+func Table6Context(ctx context.Context, w io.Writer, cfg Config, ws []*workloads.Workload, maxFactor float64) error {
 	cfg = cfg.withDefaults()
 	if cfg.Cache == nil {
 		cfg.Cache = NewArtifactCache()
 	}
 	factors := make([]float64, len(ws))
 	var errs errSet
-	p := newPool(cfg.workerCount(), len(ws))
+	p := newPool(ctx, cfg.workerCount(), len(ws))
 	for i, wl := range ws {
 		i, wl := i, wl
 		p.submit(func() {
-			f, err := BreakEven(cfg, wl, maxFactor)
+			f, err := BreakEvenContext(ctx, cfg, wl, maxFactor)
 			if err != nil {
 				errs.record(i, err)
 				return
@@ -211,6 +218,9 @@ func Table6(w io.Writer, cfg Config, ws []*workloads.Workload, maxFactor float64
 		})
 	}
 	p.wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("harness: break-even table cancelled: %w", err)
+	}
 	if err := errs.first(); err != nil {
 		return err
 	}

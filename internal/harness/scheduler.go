@@ -20,6 +20,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -37,18 +38,24 @@ import (
 // policy stage is enqueued by the prepare stage); the queue is sized for
 // the whole DAG up front so submission never blocks a worker.
 type pool struct {
+	ctx  context.Context
 	jobs chan func()
 	wg   sync.WaitGroup
 }
 
 // newPool starts workers goroutines servicing a queue of at most capacity
-// jobs. workers must be >= 1.
-func newPool(workers, capacity int) *pool {
-	p := &pool{jobs: make(chan func(), capacity)}
+// jobs. workers must be >= 1. Once ctx is cancelled the workers keep
+// draining the queue but stop executing jobs, so wait() returns promptly —
+// cancellation granularity is one job (one prepare stage or one policy
+// simulation), never mid-queue abandonment that would leak goroutines.
+func newPool(ctx context.Context, workers, capacity int) *pool {
+	p := &pool{ctx: ctx, jobs: make(chan func(), capacity)}
 	for i := 0; i < workers; i++ {
 		go func() {
 			for job := range p.jobs {
-				job()
+				if ctx.Err() == nil {
+					job()
+				}
 				p.wg.Done()
 			}
 		}()

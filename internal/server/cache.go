@@ -1,0 +1,103 @@
+// Content-addressed LRU result cache: canonical spec key → marshaled
+// report bytes. This is the "fetch" side of the recompute-vs-fetch
+// trade-off the service implements; the shared harness.ArtifactCache in
+// the runner is the layer below it (reusable intermediates even when the
+// final report must be recomputed).
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheItem struct {
+	key  string
+	data []byte
+}
+
+// CacheStats is a point-in-time counter snapshot, rendered on /metrics and
+// logged at drain.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// resultCache is a bounded LRU keyed by JobSpec.Key. Safe for concurrent
+// use. Entries are immutable once inserted (reports are write-once), so
+// get returns the stored slice without copying.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used; values are *cacheItem
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached report for key, marking it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).data, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// once past capacity.
+func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Reports are deterministic, so a re-insert carries equal bytes;
+		// keep the existing entry and just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, data: data})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+		c.evictions++
+	}
+}
+
+// peek returns the cached report without touching recency or the hit/miss
+// counters — report fetches by key are reads of an already-answered
+// submission, not new cache decisions.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheItem).data, true
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}

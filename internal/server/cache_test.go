@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	c.put("c", []byte("C")) // evicts a (least recently used)
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("entry a survived past capacity")
+	}
+	if v, ok := c.get("b"); !ok || !bytes.Equal(v, []byte("B")) {
+		t.Fatalf("entry b = %q, %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Fatalf("entry c = %q, %v", v, ok)
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction over 2 entries", st)
+	}
+}
+
+func TestCacheRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("V"))
+	c.get("k")    // hit
+	c.get("nope") // miss
+	c.get("k")    // hit
+	c.peek("k")   // peek must not count
+	c.peek("gone")
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestCacheReinsertKeepsEntry(t *testing.T) {
+	c := newResultCache(2)
+	c.put("k", []byte("V"))
+	c.put("k", []byte("V")) // deterministic reports: same bytes
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("duplicate put grew the cache: %+v", st)
+	}
+}
+
+func TestCacheManyKeysBounded(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	st := c.stats()
+	if st.Entries != 8 || st.Evictions != 92 {
+		t.Fatalf("stats = %+v, want 8 entries / 92 evictions", st)
+	}
+}

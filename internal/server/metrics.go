@@ -1,0 +1,54 @@
+// Service counters, rendered in Prometheus text exposition format on
+// GET /metrics. Everything is an atomic so the hot submission path never
+// takes a metrics lock.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
+)
+
+type metrics struct {
+	submitted atomic.Uint64 // accepted submissions (incl. cache hits + coalesced)
+	rejected  atomic.Uint64 // 429 backpressure rejections
+	coalesced atomic.Uint64 // submissions attached to an in-flight identical job
+	completed atomic.Uint64 // jobs finishing in state done
+	failed    atomic.Uint64
+	timeouts  atomic.Uint64
+	canceled  atomic.Uint64
+	running   atomic.Int64 // gauge
+}
+
+// write renders the counters plus cache stats and queue gauges.
+func (m *metrics) write(w io.Writer, cs CacheStats, queueDepth, queueCap int, draining bool) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP amnesiacd_%s %s\n# TYPE amnesiacd_%s counter\namnesiacd_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP amnesiacd_%s %s\n# TYPE amnesiacd_%s gauge\namnesiacd_%s %d\n", name, help, name, name, v)
+	}
+	counter("jobs_submitted_total", "accepted job submissions", m.submitted.Load())
+	counter("jobs_rejected_total", "submissions rejected by queue backpressure", m.rejected.Load())
+	counter("jobs_coalesced_total", "submissions coalesced onto an in-flight identical job", m.coalesced.Load())
+	counter("jobs_completed_total", "jobs finished successfully", m.completed.Load())
+	counter("jobs_failed_total", "jobs finished with an execution error", m.failed.Load())
+	counter("jobs_timeout_total", "jobs that hit their deadline", m.timeouts.Load())
+	counter("jobs_canceled_total", "jobs canceled by clients or shutdown", m.canceled.Load())
+	counter("result_cache_hits_total", "report cache hits", cs.Hits)
+	counter("result_cache_misses_total", "report cache misses", cs.Misses)
+	counter("result_cache_evictions_total", "report cache LRU evictions", cs.Evictions)
+	gauge("result_cache_entries", "reports currently cached", int64(cs.Entries))
+	gauge("jobs_running", "jobs currently executing", m.running.Load())
+	gauge("queue_depth", "jobs waiting in the queue", int64(queueDepth))
+	gauge("queue_capacity", "queue capacity", int64(queueCap))
+	d := int64(0)
+	if draining {
+		d = 1
+	}
+	gauge("draining", "1 while the server is draining for shutdown", d)
+	fmt.Fprintf(w, "# HELP amnesiacd_build_info build identity\n# TYPE amnesiacd_build_info gauge\namnesiacd_build_info{version=%q,revision=%q} 1\n",
+		buildinfo.Version, buildinfo.Revision())
+}

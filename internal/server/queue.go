@@ -1,0 +1,200 @@
+// Job lifecycle and the bounded execution queue.
+//
+// A job moves queued → running → {done, failed, timeout, canceled}. The
+// queue is a fixed-capacity channel: submission never blocks — a full
+// queue rejects with 429 + Retry-After (backpressure), so heavy traffic
+// degrades by shedding load instead of by unbounded memory growth.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Job states, as reported by GET /v1/jobs/{id}.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateTimeout  = "timeout"
+	StateCanceled = "canceled"
+)
+
+// Event is one SSE frame on GET /v1/jobs/{id}/events.
+type Event struct {
+	Type     string `json:"type"`               // "state" or "progress"
+	JobID    string `json:"job_id,omitempty"`   // filled by job.emit
+	State    string `json:"state,omitempty"`    // on "state" events
+	Workload string `json:"workload,omitempty"` // on "progress" events
+	Stage    string `json:"stage,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// subBufCap bounds one SSE subscriber's pending events. A slow consumer
+// drops intermediate progress frames rather than stalling the job; state
+// transitions still arrive via the replay buffer on reconnect.
+const subBufCap = 256
+
+// job is one submitted evaluation. All mutable fields are guarded by mu.
+type job struct {
+	id   string
+	key  string
+	spec JobSpec
+
+	// deadline is absolute, measured from submission (zero = none). The
+	// worker refuses to start a job whose deadline already passed — that is
+	// the "expired before it ran" case the queue must survive.
+	deadline time.Time
+	cancel   context.CancelFunc // non-nil once running; DELETE uses it
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	cacheHit  bool
+	coalesced int // extra submissions that attached to this execution
+	result    []byte
+	events    []Event // replay buffer for late SSE subscribers
+	subs      map[chan Event]struct{}
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{} // closed on any terminal state
+}
+
+func newJob(id, key string, spec JobSpec, now time.Time) *job {
+	j := &job{
+		id: id, key: key, spec: spec,
+		state:   StateQueued,
+		created: now,
+		subs:    make(map[chan Event]struct{}),
+		done:    make(chan struct{}),
+	}
+	if spec.TimeoutMS > 0 {
+		j.deadline = now.Add(time.Duration(spec.TimeoutMS) * time.Millisecond)
+	}
+	return j
+}
+
+// emit appends ev to the replay buffer and fans it out to live
+// subscribers. Safe for concurrent use (the harness progress callback runs
+// on worker goroutines).
+func (j *job) emit(ev Event) {
+	ev.JobID = j.id
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop this frame for them
+		}
+	}
+}
+
+// subscribe returns a replay of past events plus a live channel. The
+// channel closes when the job reaches a terminal state; unsub is
+// idempotent and must be called by the consumer.
+func (j *job) subscribe() (replay []Event, ch chan Event, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	ch = make(chan Event, subBufCap)
+	if isTerminal(j.state) {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	var once sync.Once
+	unsub = func() {
+		once.Do(func() {
+			j.mu.Lock()
+			delete(j.subs, ch)
+			j.mu.Unlock()
+		})
+	}
+	return replay, ch, unsub
+}
+
+// finish moves the job to a terminal state, records the outcome, closes
+// every subscriber channel, and emits the final state event. It reports
+// false (and does nothing) when the job is already terminal, so cancel
+// racing completion settles on exactly one outcome.
+func (j *job) finish(state, errMsg string, result []byte, now time.Time) bool {
+	j.mu.Lock()
+	if isTerminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.result = result
+	j.finished = now
+	ev := Event{Type: "state", JobID: j.id, State: state, Error: errMsg, CacheHit: j.cacheHit}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+		delete(j.subs, ch)
+	}
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+func isTerminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateTimeout, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// JobStatus is the JSON rendering of a job, returned by POST /v1/jobs and
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Key       string `json:"key"`
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	CacheHit  bool   `json:"cache_hit"`
+	Coalesced int    `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	// ReportURL serves the result once State == "done".
+	ReportURL string `json:"report_url,omitempty"`
+	// EventsURL streams progress (SSE) for the job's lifetime.
+	EventsURL string `json:"events_url"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Key: j.key, Kind: j.spec.Kind,
+		State: j.state, CacheHit: j.cacheHit, Coalesced: j.coalesced,
+		Error:     j.err,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		EventsURL: "/v1/jobs/" + j.id + "/events",
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone {
+		st.ReportURL = "/v1/reports/" + j.key
+	}
+	return st
+}

@@ -1,0 +1,158 @@
+// Job specification and the content-addressed cache key.
+//
+// A run is fully determined by (kind, workloads, policies, scale, uarch
+// budget, R bound, seed range) — the worker count and the client's deadline
+// change neither the simulated architecture nor the deterministic report,
+// so they are deliberately excluded from the cache identity. That makes
+// the trade-off the serving layer exploits explicit: fetch the report when
+// the spec has been computed before, recompute it otherwise.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// Job kinds.
+const (
+	KindSuite     = "suite"     // harness.RunSuiteContext over named workloads
+	KindBreakEven = "breakeven" // harness.BreakEvenContext sweep per workload
+	KindDifftest  = "difftest"  // differential oracle over a seed range
+)
+
+// JobSpec is the wire format of POST /v1/jobs. Zero fields take defaults
+// via Normalize; TimeoutMS is the only execution-affecting field that does
+// NOT contribute to the cache key (a deadline changes when a result
+// arrives, never what it is).
+type JobSpec struct {
+	// Kind selects the evaluation: "suite", "breakeven", or "difftest".
+	Kind string `json:"kind"`
+	// Workloads are benchmark names (see workloads.Names); empty means the
+	// responsive suite. Order is semantic: reports render in this order.
+	Workloads []string `json:"workloads,omitempty"`
+	// Scale multiplies workload working sets (default 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Policies filters suite reports; empty means all five. Normalize
+	// canonicalizes the order to harness.PolicyLabels, so permutations of
+	// the same set share one cache entry.
+	Policies []string `json:"policies,omitempty"`
+	// MaxInstrs bounds each simulated execution (0 = engine default).
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	// MaxR is the breakeven sweep upper bound (default 200).
+	MaxR float64 `json:"max_r,omitempty"`
+	// Seed is the first difftest generator seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Seeds is the number of consecutive difftest seeds (default 100).
+	Seeds int `json:"seeds,omitempty"`
+	// TimeoutMS is the job deadline measured from submission; 0 means no
+	// deadline. Excluded from the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// maxDifftestSeeds bounds one difftest job so a single request cannot park
+// a worker for hours; split larger sweeps into multiple jobs.
+const maxDifftestSeeds = 100_000
+
+// Normalize validates the spec and fills defaults, returning the canonical
+// form whose JSON encoding is the cache identity. Two submissions that
+// differ only in JSON field order, policy order, or deadline normalize to
+// the same key.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	switch s.Kind {
+	case KindSuite, KindBreakEven, KindDifftest:
+	default:
+		return s, fmt.Errorf("kind must be %q, %q, or %q; got %q", KindSuite, KindBreakEven, KindDifftest, s.Kind)
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Scale < 0 {
+		return s, fmt.Errorf("scale must be positive, got %g", s.Scale)
+	}
+	if s.TimeoutMS < 0 {
+		return s, fmt.Errorf("timeout_ms must be >= 0, got %d", s.TimeoutMS)
+	}
+
+	switch s.Kind {
+	case KindSuite, KindBreakEven:
+		if len(s.Workloads) == 0 {
+			for _, w := range workloads.Responsive() {
+				s.Workloads = append(s.Workloads, w.Name)
+			}
+		}
+		for _, name := range s.Workloads {
+			if _, err := workloads.Get(name); err != nil {
+				return s, err
+			}
+		}
+	}
+
+	switch s.Kind {
+	case KindSuite:
+		if len(s.Policies) == 0 {
+			s.Policies = append([]string(nil), harness.PolicyLabels...)
+		} else {
+			want := map[string]bool{}
+			for _, p := range s.Policies {
+				known := false
+				for _, l := range harness.PolicyLabels {
+					if p == l {
+						known = true
+						break
+					}
+				}
+				if !known {
+					return s, fmt.Errorf("unknown policy %q (valid: %v)", p, harness.PolicyLabels)
+				}
+				want[p] = true
+			}
+			// Canonical order: harness.PolicyLabels. Also dedupes.
+			s.Policies = s.Policies[:0]
+			for _, l := range harness.PolicyLabels {
+				if want[l] {
+					s.Policies = append(s.Policies, l)
+				}
+			}
+		}
+		s.MaxR, s.Seed, s.Seeds = 0, 0, 0
+	case KindBreakEven:
+		if s.MaxR == 0 {
+			s.MaxR = 200
+		}
+		if s.MaxR <= 1 {
+			return s, fmt.Errorf("max_r must exceed 1, got %g", s.MaxR)
+		}
+		s.Policies, s.Seed, s.Seeds = nil, 0, 0
+	case KindDifftest:
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Seeds == 0 {
+			s.Seeds = 100
+		}
+		if s.Seeds < 1 || s.Seeds > maxDifftestSeeds {
+			return s, fmt.Errorf("seeds must be in [1, %d], got %d", maxDifftestSeeds, s.Seeds)
+		}
+		s.Workloads, s.Policies, s.MaxR = nil, nil, 0
+	}
+	return s, nil
+}
+
+// Key returns the content address of the spec's report: a hex SHA-256 of
+// the canonical JSON encoding with the deadline zeroed. Call on a
+// Normalize-d spec; the server does so at submission.
+func (s JobSpec) Key() string {
+	s.TimeoutMS = 0
+	b, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec contains only marshalable scalar/slice fields.
+		panic(fmt.Sprintf("server: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// normKey unmarshals raw JSON, normalizes, and returns the cache key.
+func normKey(t *testing.T, raw string) string {
+	t.Helper()
+	var spec JobSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatalf("unmarshal %q: %v", raw, err)
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		t.Fatalf("normalize %q: %v", raw, err)
+	}
+	return spec.Key()
+}
+
+// TestKeyStableAcrossFieldOrdering: the canonical key must not depend on
+// the order JSON fields (or the policy list) arrive in.
+func TestKeyStableAcrossFieldOrdering(t *testing.T) {
+	a := normKey(t, `{"kind":"suite","workloads":["is","mcf"],"scale":0.5,"policies":["Compiler","FLC"]}`)
+	b := normKey(t, `{"policies":["FLC","Compiler"],"scale":0.5,"kind":"suite","workloads":["is","mcf"]}`)
+	if a != b {
+		t.Fatalf("field/policy ordering changed the key: %s vs %s", a, b)
+	}
+}
+
+// TestKeyIgnoresDeadline: the deadline changes when a result arrives,
+// never what it is, so it must not fragment the cache.
+func TestKeyIgnoresDeadline(t *testing.T) {
+	a := normKey(t, `{"kind":"suite","workloads":["is"],"scale":0.5}`)
+	b := normKey(t, `{"kind":"suite","workloads":["is"],"scale":0.5,"timeout_ms":1500}`)
+	if a != b {
+		t.Fatalf("timeout_ms changed the key: %s vs %s", a, b)
+	}
+}
+
+// TestKeySensitivity: fields that do change the computation change the key.
+func TestKeySensitivity(t *testing.T) {
+	base := normKey(t, `{"kind":"suite","workloads":["is"],"scale":0.5}`)
+	for name, raw := range map[string]string{
+		"scale":     `{"kind":"suite","workloads":["is"],"scale":0.25}`,
+		"workloads": `{"kind":"suite","workloads":["mcf"],"scale":0.5}`,
+		"order":     `{"kind":"suite","workloads":["is","mcf"],"scale":0.5}`,
+		"budget":    `{"kind":"suite","workloads":["is"],"scale":0.5,"max_instrs":1000}`,
+		"kind":      `{"kind":"breakeven","workloads":["is"],"scale":0.5}`,
+		"policies":  `{"kind":"suite","workloads":["is"],"scale":0.5,"policies":["FLC"]}`,
+	} {
+		if k := normKey(t, raw); k == base {
+			t.Errorf("%s: expected a different key for %s", name, raw)
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	spec, err := JobSpec{Kind: KindSuite}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if spec.Scale != 1.0 {
+		t.Errorf("Scale default = %g, want 1.0", spec.Scale)
+	}
+	if len(spec.Workloads) == 0 {
+		t.Errorf("Workloads default empty, want responsive suite")
+	}
+	if len(spec.Policies) != 5 {
+		t.Errorf("Policies default = %v, want all five", spec.Policies)
+	}
+
+	dt, err := JobSpec{Kind: KindDifftest}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize difftest: %v", err)
+	}
+	if dt.Seed != 1 || dt.Seeds != 100 {
+		t.Errorf("difftest defaults = seed %d seeds %d, want 1/100", dt.Seed, dt.Seeds)
+	}
+
+	be, err := JobSpec{Kind: KindBreakEven}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize breakeven: %v", err)
+	}
+	if be.MaxR != 200 {
+		t.Errorf("breakeven MaxR default = %g, want 200", be.MaxR)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []JobSpec{
+		{Kind: "nope"},
+		{Kind: KindSuite, Scale: -1},
+		{Kind: KindSuite, Workloads: []string{"no-such-benchmark"}},
+		{Kind: KindSuite, Policies: []string{"NoSuchPolicy"}},
+		{Kind: KindSuite, TimeoutMS: -1},
+		{Kind: KindBreakEven, MaxR: 0.5},
+		{Kind: KindDifftest, Seeds: maxDifftestSeeds + 1},
+		{Kind: KindDifftest, Seeds: -2},
+	}
+	for _, spec := range cases {
+		if _, err := spec.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a normalized spec is a no-op, so
+// the key survives a store/reload round trip.
+func TestNormalizeIdempotent(t *testing.T) {
+	spec, err := JobSpec{Kind: KindSuite, Workloads: []string{"is"}, Scale: 0.5}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Key() != again.Key() {
+		t.Fatalf("Normalize is not idempotent: %s vs %s", spec.Key(), again.Key())
+	}
+}
