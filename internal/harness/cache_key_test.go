@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestArtifactCacheKeyedByMaxInstrs: the classic baseline bakes
+// cfg.MaxInstrs into its result, so two configs differing only in the
+// instruction budget must build separate artifacts. A budget small enough
+// to truncate the run must surface ErrInstrBudget — not silently reuse the
+// unlimited baseline cached under the same workload.
+func TestArtifactCacheKeyedByMaxInstrs(t *testing.T) {
+	cache := NewArtifactCache()
+	w := workloads.Responsive()[0]
+
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Cache = cache
+
+	art, err := cache.get(cfg, w)
+	if err != nil {
+		t.Fatalf("unlimited build: %v", err)
+	}
+	full := art.Classic.Acct.Instrs
+	if full < 2 {
+		t.Fatalf("classic baseline retired only %d instructions; cannot halve the budget", full)
+	}
+
+	limited := cfg
+	limited.MaxInstrs = full / 2
+	if _, err := cache.get(limited, w); !errors.Is(err, cpu.ErrInstrBudget) {
+		t.Fatalf("budget-limited build returned %v, want ErrInstrBudget — the cache shared the unlimited classic baseline", err)
+	}
+
+	// The original key still serves the unlimited artifacts.
+	again, err := cache.get(cfg, w)
+	if err != nil {
+		t.Fatalf("unlimited re-get: %v", err)
+	}
+	if again != art {
+		t.Fatal("unlimited re-get did not hit the cached artifacts")
+	}
+}

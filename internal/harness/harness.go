@@ -47,6 +47,10 @@ type Config struct {
 	// execution (classic baseline and amnesic runs); 0 means
 	// cpu.DefaultMaxInstrs.
 	MaxInstrs uint64
+	// Policies selects which policy simulations RunSuite executes per
+	// workload; nil or empty means all of PolicyLabels. Entries must come
+	// from PolicyLabels. BenchResult.Runs holds exactly these labels.
+	Policies []string
 	// Cache, when non-nil, shares prepare-stage artifacts (profiles,
 	// compiled binaries, classic baselines) across harness entry points, so
 	// e.g. a Table 6 sweep after RunSuite reuses its compiles.
@@ -59,8 +63,9 @@ type Config struct {
 }
 
 // Progress reports one completed unit of RunSuite work. A suite over N
-// workloads has N*(1+len(PolicyLabels)) units: one prepare stage plus one
-// simulation per policy, per workload.
+// workloads has N*(1+P) units, where P is the number of selected policies
+// (len(cfg.Policies), or len(PolicyLabels) when unset): one prepare stage
+// plus one simulation per selected policy, per workload.
 type Progress struct {
 	Workload string // benchmark name
 	Stage    string // "prepare" or a policy label
@@ -104,6 +109,27 @@ func (cfg Config) cache() *ArtifactCache {
 	return NewArtifactCache()
 }
 
+// policyLabels resolves cfg.Policies to the executed policy grid,
+// validating that every entry is a known label.
+func (cfg Config) policyLabels() ([]string, error) {
+	if len(cfg.Policies) == 0 {
+		return PolicyLabels, nil
+	}
+	for _, p := range cfg.Policies {
+		known := false
+		for _, l := range PolicyLabels {
+			if p == l {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("harness: unknown policy %q (valid: %v)", p, PolicyLabels)
+		}
+	}
+	return cfg.Policies, nil
+}
+
 // PolicyRun is one amnesic execution under one policy.
 type PolicyRun struct {
 	Label string
@@ -137,7 +163,8 @@ type BenchResult struct {
 	Ann       *compiler.Annotated
 	OracleAnn *compiler.Annotated
 
-	// Runs indexed by PolicyLabels.
+	// Runs indexed by the executed policy labels (cfg.Policies, or all of
+	// PolicyLabels when unset).
 	Runs map[string]*PolicyRun
 }
 
@@ -217,8 +244,9 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 }
 
 // RunSuiteContext evaluates the given workloads, returning results in
-// workload order. The (workload × policy) grid runs as a job DAG over a
-// bounded worker pool of cfg.Workers goroutines (see scheduler.go); result
+// workload order. The (workload × policy) grid — cfg.Policies, or all of
+// PolicyLabels when unset — runs as a job DAG over a bounded worker pool
+// of cfg.Workers goroutines (see scheduler.go); result
 // assembly is order-preserving, so the output is deep-equal — and renders
 // byte-identical reports — regardless of worker count. On failure the error
 // reported is the one a serial run would have hit first.
@@ -229,15 +257,19 @@ func RunSuite(cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) ([]*BenchResult, error) {
 	cfg = cfg.withDefaults()
 	cache := cfg.cache()
+	labels, err := cfg.policyLabels()
+	if err != nil {
+		return nil, err
+	}
 
 	results := make([]*BenchResult, len(ws))
-	// runs[i][j] is workload i under PolicyLabels[j]; each cell is written
-	// by exactly one job, so assembly below needs no locking.
+	// runs[i][j] is workload i under labels[j]; each cell is written by
+	// exactly one job, so assembly below needs no locking.
 	runs := make([][]*PolicyRun, len(ws))
 	var errs errSet
-	rank := func(wIdx, pIdx int) int { return wIdx*(len(PolicyLabels)+1) + pIdx + 1 }
+	rank := func(wIdx, pIdx int) int { return wIdx*(len(labels)+1) + pIdx + 1 }
 
-	total := len(ws) * (1 + len(PolicyLabels))
+	total := len(ws) * (1 + len(labels))
 	var done atomic.Int64
 	report := func(w, stage string, failed bool) {
 		n := int(done.Add(1))
@@ -249,7 +281,7 @@ func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) 
 	p := newPool(ctx, cfg.workerCount(), total)
 	for i, w := range ws {
 		i, w := i, w
-		runs[i] = make([]*PolicyRun, len(PolicyLabels))
+		runs[i] = make([]*PolicyRun, len(labels))
 		p.submit(func() {
 			art, err := cache.get(cfg, w)
 			if err != nil {
@@ -263,7 +295,7 @@ func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) 
 				Ann: art.Ann, OracleAnn: art.OracleAnn,
 			}
 			report(w.Name, "prepare", false)
-			for j, label := range PolicyLabels {
+			for j, label := range labels {
 				j, label := j, label
 				p.submit(func() {
 					binary, k := policyBinary(art, label)
@@ -287,8 +319,8 @@ func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) 
 		return nil, err
 	}
 	for i, r := range results {
-		r.Runs = make(map[string]*PolicyRun, len(PolicyLabels))
-		for j, label := range PolicyLabels {
+		r.Runs = make(map[string]*PolicyRun, len(labels))
+		for j, label := range labels {
 			r.Runs[label] = runs[i][j]
 		}
 	}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestRunSuitePolicySubset: cfg.Policies restricts the executed grid — only
+// the selected simulations run, progress totals count only those stages,
+// and Runs holds exactly the selected labels.
+func TestRunSuitePolicySubset(t *testing.T) {
+	selected := []string{"Oracle", "Compiler"}
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = 2
+	cfg.Policies = selected
+
+	var mu sync.Mutex
+	var stages []Progress
+	cfg.Progress = func(p Progress) {
+		mu.Lock()
+		stages = append(stages, p)
+		mu.Unlock()
+	}
+
+	ws := workloads.Responsive()[:1]
+	res, err := RunSuiteContext(context.Background(), cfg, ws)
+	if err != nil {
+		t.Fatalf("RunSuiteContext: %v", err)
+	}
+
+	if len(res[0].Runs) != len(selected) {
+		t.Fatalf("Runs = %d labels, want %d", len(res[0].Runs), len(selected))
+	}
+	for _, label := range selected {
+		if res[0].Runs[label] == nil {
+			t.Errorf("selected policy %q has no run", label)
+		}
+	}
+	if run, ok := res[0].Runs["FLC"]; ok {
+		t.Errorf("unselected policy FLC present in Runs: %+v", run)
+	}
+
+	wantTotal := len(ws) * (1 + len(selected))
+	if len(stages) != wantTotal {
+		t.Fatalf("progress reported %d stages, want %d", len(stages), wantTotal)
+	}
+	for _, p := range stages {
+		if p.Total != wantTotal {
+			t.Errorf("progress Total = %d, want %d", p.Total, wantTotal)
+		}
+		if p.Stage != "prepare" && p.Stage != "Oracle" && p.Stage != "Compiler" {
+			t.Errorf("unselected stage %q executed", p.Stage)
+		}
+	}
+}
+
+// TestRunSuiteUnknownPolicy: a label outside PolicyLabels is rejected
+// before any simulation runs.
+func TestRunSuiteUnknownPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Policies = []string{"NoSuchPolicy"}
+	_, err := RunSuiteContext(context.Background(), cfg, workloads.Responsive()[:1])
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("RunSuiteContext = %v, want unknown-policy error", err)
+	}
+}

@@ -116,11 +116,15 @@ type Artifacts struct {
 // artifactKey identifies one prepare-stage product. compiler.Options is a
 // flat comparable struct, and the model is keyed by identity: the cache
 // relies on Model being read-only during runs (see energy.Model docs).
+// maxInstrs is part of the key because the classic baseline bakes
+// cfg.MaxInstrs into its result — two configs differing only in the
+// instruction budget must not share a baseline.
 type artifactKey struct {
-	name  string
-	scale float64
-	model *energy.Model
-	opts  compiler.Options
+	name      string
+	scale     float64
+	model     *energy.Model
+	opts      compiler.Options
+	maxInstrs uint64
 }
 
 type cacheEntry struct {
@@ -147,7 +151,7 @@ func NewArtifactCache() *ArtifactCache {
 // get returns the artifacts for (cfg, w), building them at most once per
 // key even under concurrent callers.
 func (c *ArtifactCache) get(cfg Config, w *workloads.Workload) (*Artifacts, error) {
-	key := artifactKey{name: w.Name, scale: cfg.Scale, model: cfg.Model, opts: cfg.Opts}
+	key := artifactKey{name: w.Name, scale: cfg.Scale, model: cfg.Model, opts: cfg.Opts, maxInstrs: cfg.MaxInstrs}
 	c.mu.Lock()
 	e := c.m[key]
 	if e == nil {

@@ -154,8 +154,20 @@ func TestEndToEnd(t *testing.T) {
 	events := h.followSSE(t, st.ID)
 	progress := 0
 	for _, ev := range events {
-		if ev.Type == "progress" {
-			progress++
+		if ev.Type != "progress" {
+			continue
+		}
+		progress++
+		// The policy subset is executed, not just filtered from the report:
+		// no stage outside {prepare, Compiler, FLC} may run, and Total
+		// counts only the requested stages (1 workload × (1 + 2 policies)).
+		switch ev.Stage {
+		case "prepare", "Compiler", "FLC":
+		default:
+			t.Errorf("unselected policy stage %q executed (event %+v)", ev.Stage, ev)
+		}
+		if ev.Total != 3 {
+			t.Errorf("progress Total = %d, want 3 (selected stages only)", ev.Total)
 		}
 	}
 	if progress < 1 {

@@ -36,8 +36,9 @@ type Event struct {
 }
 
 // subBufCap bounds one SSE subscriber's pending events. A slow consumer
-// drops intermediate progress frames rather than stalling the job; state
-// transitions still arrive via the replay buffer on reconnect.
+// drops intermediate progress frames rather than stalling the job; the SSE
+// handler synthesizes the terminal state event if the drop swallowed it
+// (see handleEvents), so every completed stream still ends with it.
 const subBufCap = 256
 
 // job is one submitted evaluation. All mutable fields are guarded by mu.
@@ -148,6 +149,19 @@ func (j *job) finish(state, errMsg string, result []byte, now time.Time) bool {
 	j.mu.Unlock()
 	close(j.done)
 	return true
+}
+
+// terminalEvent returns the job's final state event, or false while the
+// job is still live. The SSE handler uses it to guarantee every stream
+// ends with the terminal state even when a slow subscriber's buffer was
+// full when finish fanned the event out.
+func (j *job) terminalEvent() (Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !isTerminal(j.state) {
+		return Event{}, false
+	}
+	return Event{Type: "state", JobID: j.id, State: j.state, Error: j.err, CacheHit: j.cacheHit}, true
 }
 
 func isTerminal(state string) bool {

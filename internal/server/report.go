@@ -152,6 +152,9 @@ func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event)) (
 		ws[i] = w
 	}
 	cfg := r.config(spec)
+	// Execute only the requested policies: a subset spec pays for exactly
+	// the simulations it asked for, and SSE Total counts only those stages.
+	cfg.Policies = spec.Policies
 	cfg.Progress = func(p harness.Progress) {
 		emit(Event{Type: "progress", Workload: p.Workload, Stage: p.Stage, Done: p.Done, Total: p.Total})
 	}

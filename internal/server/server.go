@@ -348,6 +348,27 @@ func (s *Server) finalize(j *job, state, errMsg string, result []byte) {
 	s.mu.Unlock()
 }
 
+// cancelIfSolo cancels j only when no other submission has a stake in it:
+// nobody coalesced onto it and it was not a cache hit. The solo check and
+// the removal from the coalescing index happen under s.mu — the same lock
+// submit coalesces under — so a concurrent identical submission either
+// attaches before the check (solo is false, no cancel) or finds the key
+// free and starts its own job; it can never coalesce onto a job that is
+// about to be cancelled.
+func (s *Server) cancelIfSolo(j *job) {
+	s.mu.Lock()
+	j.mu.Lock()
+	solo := j.coalesced == 0 && !j.cacheHit
+	j.mu.Unlock()
+	if solo && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	if solo {
+		s.cancelJob(j)
+	}
+}
+
 // cancelJob cancels a queued or running job; false if already terminal.
 func (s *Server) cancelJob(j *job) bool {
 	j.mu.Lock()
@@ -424,13 +445,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			// Client went away. Cancel only when nobody else asked for this
 			// execution — a coalesced or cached job has other stakeholders.
-			j := res.job
-			j.mu.Lock()
-			solo := j.coalesced == 0 && !j.cacheHit
-			j.mu.Unlock()
-			if solo {
-				s.cancelJob(j)
-			}
+			s.cancelIfSolo(res.job)
 		}
 		return
 	}

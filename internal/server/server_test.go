@@ -164,6 +164,57 @@ func TestCancelQueued(t *testing.T) {
 	}
 }
 
+// TestCancelIfSolo: the ?wait=1 disconnect path cancels a job only when no
+// other submission has a stake in it, and a cancelled solo job releases its
+// coalescing slot so a later identical submission starts fresh instead of
+// attaching to the corpse.
+func TestCancelIfSolo(t *testing.T) {
+	srv, execs, release := blockableServer(t, Config{JobWorkers: 1, QueueCap: 4, SimWorkers: 1})
+
+	// Running job with a coalesced duplicate: cancelIfSolo must be a no-op.
+	shared := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1})
+	first, err := srv.submit(shared)
+	if err != nil {
+		t.Fatalf("submit shared: %v", err)
+	}
+	for execs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if res, err := srv.submit(shared); err != nil || res.job != first.job {
+		t.Fatalf("duplicate did not coalesce: res=%+v err=%v", res, err)
+	}
+	srv.cancelIfSolo(first.job)
+	if st := first.job.status(); isTerminal(st.State) {
+		t.Fatalf("cancelIfSolo killed a coalesced job (state %s)", st.State)
+	}
+
+	// Queued solo job: cancelIfSolo cancels it and frees the inflight key.
+	solo := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 2})
+	victim, err := srv.submit(solo)
+	if err != nil {
+		t.Fatalf("submit solo: %v", err)
+	}
+	srv.cancelIfSolo(victim.job)
+	waitDone(t, victim.job)
+	if st := victim.job.status(); st.State != StateCanceled {
+		t.Fatalf("solo job state = %s, want canceled", st.State)
+	}
+	resub, err := srv.submit(solo)
+	if err != nil {
+		t.Fatalf("resubmit after cancel: %v", err)
+	}
+	if resub.job == victim.job {
+		t.Fatal("resubmission coalesced onto the cancelled job")
+	}
+
+	release()
+	waitDone(t, first.job)
+	if st := first.job.status(); st.State != StateDone {
+		t.Fatalf("shared job finished as %s, want done", st.State)
+	}
+	waitDone(t, resub.job)
+}
+
 // TestDrain: draining stops new submissions, finishes in-flight work, and
 // leaves Drain idempotent-safe.
 func TestDrain(t *testing.T) {

@@ -37,7 +37,8 @@ type JobSpec struct {
 	Workloads []string `json:"workloads,omitempty"`
 	// Scale multiplies workload working sets (default 1.0).
 	Scale float64 `json:"scale,omitempty"`
-	// Policies filters suite reports; empty means all five. Normalize
+	// Policies selects which policies a suite job executes and reports;
+	// empty means all five. A subset runs only those simulations. Normalize
 	// canonicalizes the order to harness.PolicyLabels, so permutations of
 	// the same set share one cache entry.
 	Policies []string `json:"policies,omitempty"`

@@ -35,8 +35,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	replay, live, unsub := j.subscribe()
 	defer unsub()
 
+	// finish's fan-out drops frames for a subscriber whose buffer is full —
+	// including, possibly, the terminal state event — so track whether one
+	// was actually written and synthesize it after the channel closes if not.
+	// Every completed stream therefore ends with the terminal state.
+	sentTerminal := false
+	send := func(ev Event) error {
+		if ev.Type == "state" && isTerminal(ev.State) {
+			sentTerminal = true
+		}
+		return writeSSE(w, ev)
+	}
+
 	for _, ev := range replay {
-		if err := writeSSE(w, ev); err != nil {
+		if err := send(ev); err != nil {
 			return
 		}
 	}
@@ -48,9 +60,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case ev, ok := <-live:
 			if !ok {
-				return // job finished; final state event was already sent
+				if !sentTerminal {
+					if ev, ok := j.terminalEvent(); ok {
+						_ = send(ev)
+						flusher.Flush()
+					}
+				}
+				return
 			}
-			if err := writeSSE(w, ev); err != nil {
+			if err := send(ev); err != nil {
 				return
 			}
 			flusher.Flush()

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFinishDropsFrameForFullSubscriber documents the live-channel drop the
+// SSE handler must compensate for: when a subscriber's buffer is full,
+// finish's fan-out drops the terminal state event before closing the
+// channel. terminalEvent is the recovery path.
+func TestFinishDropsFrameForFullSubscriber(t *testing.T) {
+	spec := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1})
+	j := newJob("j00000042", spec.Key(), spec, time.Now())
+	_, ch, unsub := j.subscribe()
+	defer unsub()
+
+	for i := 0; i < subBufCap+8; i++ {
+		j.emit(Event{Type: "progress", Stage: "difftest", Done: i + 1})
+	}
+	j.finish(StateDone, "", nil, time.Now())
+
+	var last Event
+	n := 0
+	for ev := range ch {
+		last, n = ev, n+1
+	}
+	if n != subBufCap {
+		t.Fatalf("subscriber drained %d events, want the %d buffered ones", n, subBufCap)
+	}
+	if last.Type == "state" {
+		t.Fatalf("terminal event made it through a full buffer: %+v", last)
+	}
+	ev, ok := j.terminalEvent()
+	if !ok || ev.State != StateDone {
+		t.Fatalf("terminalEvent = %+v, %v; want done", ev, ok)
+	}
+}
+
+// TestSSESynthesizesTerminalEvent: a stream whose live channel closes
+// without delivering the final state event still ends with it — the
+// handler synthesizes it from the job's terminal state.
+func TestSSESynthesizesTerminalEvent(t *testing.T) {
+	srv := New(Config{JobWorkers: 1, SimWorkers: 1})
+	defer srv.Close()
+
+	spec := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1})
+	j := newJob("j00000043", spec.Key(), spec, time.Now())
+	// Terminal job whose event history lacks the final state event — the
+	// state a slow subscriber observes after the fan-out dropped it.
+	j.state = StateDone
+	j.events = []Event{{Type: "progress", JobID: j.id, Stage: "difftest", Done: 1, Total: 1}}
+	close(j.done)
+	srv.mu.Lock()
+	srv.jobs[j.id] = j
+	srv.order = append(srv.order, j.id)
+	srv.mu.Unlock()
+
+	req := httptest.NewRequest("GET", "/v1/jobs/"+j.id+"/events", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	var events []Event
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("stream carried %d events, want replay + synthesized terminal: %+v", len(events), events)
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Fatalf("final event = %+v, want synthesized done state", last)
+	}
+}
