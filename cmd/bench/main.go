@@ -3,8 +3,8 @@
 // experiment in the repro pays for:
 //
 //   - classic:  the hook-free classic core (cpu.Core.Run, fast path);
-//   - profiled: the classic core driving the full profiler hook
-//     (profile.Collect, the prepare stage of every harness run);
+//   - profiled: the fused profiling interpreter (profile.Collect, the
+//     prepare stage of every harness run);
 //   - amnesic:  the amnesic machine under the Compiler policy.
 //
 // Results are written as JSON (default BENCH_interp.json), establishing a
@@ -17,6 +17,7 @@
 //	bench -scale 0.1 -runs 5
 //	bench -bench is,mcf -out /tmp/b.json
 //	bench -validate BENCH_interp.json  # sanity-check an existing report
+//	bench -floor profiled=25           # exit 1 if aggregate MIPS dips below
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -212,6 +214,7 @@ func main() {
 		out        = flag.String("out", "BENCH_interp.json", "output JSON path (- for stdout)")
 		checkPath  = flag.String("validate", "", "validate an existing report file and exit")
 		modeFlag   = flag.String("modes", "classic,profiled,amnesic", "comma-separated modes to measure")
+		floorFlag  = flag.String("floor", "", "mode=MIPS[,mode=MIPS] aggregate throughput floors; exit 1 if unmet")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -252,6 +255,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: unknown mode %q\n", m)
 			os.Exit(2)
 		}
+	}
+	floors, err := parseFloors(*floorFlag, want)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
 	}
 
 	var ws []*workloads.Workload
@@ -317,4 +325,52 @@ func main() {
 	t := rep.Totals
 	fmt.Fprintf(os.Stderr, "bench: classic %.1f MIPS, profiled %.1f MIPS, amnesic %.1f MIPS over %d workloads\n",
 		t["classic"].MIPS, t["profiled"].MIPS, t["amnesic"].MIPS, len(rep.Workloads))
+
+	failed := false
+	for _, mode := range modes {
+		floor, ok := floors[mode]
+		if !ok {
+			continue
+		}
+		if got := t[mode].MIPS; got < floor {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: %s aggregate %.1f MIPS below floor %.1f MIPS\n", mode, got, floor)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: %s aggregate %.1f MIPS meets floor %.1f MIPS\n", mode, got, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseFloors parses the -floor spec ("profiled=25,classic=100") into a
+// mode→MIPS map, rejecting unknown modes and modes not being measured.
+func parseFloors(spec string, want map[string]bool) (map[string]float64, error) {
+	floors := make(map[string]float64)
+	if spec == "" {
+		return floors, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		mode, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid -floor entry %q (want mode=MIPS)", part)
+		}
+		mode = strings.TrimSpace(mode)
+		switch mode {
+		case "classic", "profiled", "amnesic":
+		default:
+			return nil, fmt.Errorf("invalid -floor mode %q", mode)
+		}
+		if !want[mode] {
+			return nil, fmt.Errorf("-floor mode %q is not being measured (see -modes)", mode)
+		}
+		mips, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || mips <= 0 {
+			return nil, fmt.Errorf("invalid -floor value %q for mode %s", val, mode)
+		}
+		floors[mode] = mips
+	}
+	return floors, nil
 }

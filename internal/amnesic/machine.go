@@ -39,8 +39,10 @@ type Stats struct {
 	// RecExecuted / RecFailed count REC instances; a failed REC (Hist
 	// overflow) permanently disables its slice (§3.5).
 	RecExecuted, RecFailed uint64
-	// SliceRecomputes counts recomputation firings per slice ID.
-	SliceRecomputes map[int]uint64
+	// SliceRecomputes counts recomputation firings per slice ID. Slice IDs
+	// are dense (a slice's position in Ann.Slices), so this is a plain
+	// slice indexed by ID, sized at machine construction.
+	SliceRecomputes []uint64
 	// SFileRejected counts RCMPs that had to load because the slice body
 	// exceeded SFile capacity.
 	SFileRejected uint64
@@ -103,6 +105,14 @@ type Machine struct {
 	// position in Ann.Slices).
 	failedSlices []bool
 	sliceVals    []uint64 // scratch per-traversal (SFile mirror for values)
+
+	// Dense per-PC pre-resolutions built by New, so the run loop never
+	// touches the Annotated's maps: each RCMP's slice pointer, each REC's
+	// checkpoint spec, and the eliminated-store NOP marks.
+	rcmpSlices []*compiler.SliceInfo
+	recSpecs   []compiler.RecSpec
+	recSpecOK  []bool
+	elimNOP    []bool
 }
 
 // New builds a machine over fresh caches and the given memory image.
@@ -110,7 +120,7 @@ func New(model *energy.Model, ann *compiler.Annotated, m *mem.Memory, pol policy
 	if ann.DeadStoreElim && pol.Kind() != policy.Compiler {
 		return nil, ErrPolicyDSE
 	}
-	return &Machine{
+	mach := &Machine{
 		Model:  model,
 		Hier:   mem.NewDefaultHierarchy(),
 		Mem:    m,
@@ -119,11 +129,32 @@ func New(model *energy.Model, ann *compiler.Annotated, m *mem.Memory, pol policy
 		SFile:  uarch.NewSFile(cfg.SFileEntries),
 		Hist:   uarch.NewHist(cfg.HistEntries),
 		IBuff:  uarch.NewIBuff(cfg.IBuffEntries),
-		Stat:   Stats{SliceRecomputes: make(map[int]uint64, len(ann.Slices))},
+		Stat:   Stats{SliceRecomputes: make([]uint64, len(ann.Slices))},
 
 		ShadowTouch:  true,
 		failedSlices: make([]bool, len(ann.Slices)),
-	}, nil
+	}
+	n := len(ann.Prog.Code)
+	mach.rcmpSlices = make([]*compiler.SliceInfo, n)
+	mach.recSpecs = make([]compiler.RecSpec, n)
+	mach.recSpecOK = make([]bool, n)
+	mach.elimNOP = make([]bool, n)
+	for pc, in := range ann.Prog.Code {
+		switch in.Op {
+		case isa.RCMP:
+			// A nil entry (unknown slice ID) is kept and rejected at
+			// execution time, preserving the runtime diagnostic.
+			mach.rcmpSlices[pc] = ann.SliceByID(in.SliceID)
+		case isa.REC:
+			if spec, ok := ann.RecSpecs[pc]; ok {
+				mach.recSpecs[pc], mach.recSpecOK[pc] = spec, true
+			}
+		}
+		if ann.ElimNOPPCs[pc] {
+			mach.elimNOP[pc] = true
+		}
+	}
+	return mach, nil
 }
 
 // ReadReg returns a register value honoring the zero register.
@@ -141,23 +172,26 @@ func (m *Machine) WriteReg(r isa.Reg, v uint64) {
 	}
 }
 
-// Run executes the annotated program to HALT. Like the classic core it
-// dispatches over the pre-decoded program form, with energy charges
-// inlined from tables precomputed by cpu.BuildCharges — accumulated in the
-// same order as the energy.Account helpers, so totals stay bit-identical.
-// The amnesic opcodes (REC/RCMP and the slices they traverse) are rare and
-// keep their out-of-line handlers.
+// Run executes the annotated program to HALT. Like the classic core's fast
+// path it dispatches over the pre-decoded program form with re-sliced
+// arrays (one bounds test per iteration), masked register indices, inline
+// hot ALU ops, a two-entry flat-window data micro-TLB, and every energy
+// charge accumulated in locals — in exactly the order the energy.Account
+// helpers would add them, so the floating-point totals stay bit-identical.
+// The amnesic opcodes (REC/RCMP and the slices they traverse) keep their
+// out-of-line handlers; the locals are flushed to m.Acct before each
+// handler call and reloaded after, since handlers account through m.Acct.
 func (m *Machine) Run() error {
 	p := m.Ann.Prog
 	d := p.Decoded()
 	code := p.Code
-	n := len(code)
+	n := d.Len()
 	max := m.MaxInstrs
 	if max == 0 {
 		max = cpu.DefaultMaxInstrs
 	}
-	kinds, ops, cats := d.Kind, d.Op, d.Cat
-	dsts, src1s, src2s, imms, targets := d.Dst, d.Src1, d.Src2, d.Imm, d.Target
+	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
+	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
 	hier, l1, memory := m.Hier, m.Hier.L1, m.Mem
 	acct := &m.Acct
 	regs := &m.Regs
@@ -166,43 +200,95 @@ func (m *Machine) Run() error {
 	// Hoist per-instruction fetch parameters out of the hot loop; the
 	// model is read-only for the duration of the run.
 	fetchE, fetchT := m.Model.FetchEnergy, m.Model.FetchLatency
+	wbL2, wbMem := m.Model.WriteEnergy[energy.L2], m.Model.WriteEnergy[energy.Mem]
+	cycle := ct.Cycle
 	storeHook := m.StoreHook
-	elim := m.Ann.ElimNOPPCs
+	elim := m.elimNOP
+	// Flat windows held in locals, forming a two-entry data micro-TLB (see
+	// cpu.runFast). The REC/RCMP handlers never store to memory, so the
+	// windows cannot go stale across handler calls; only the store slow
+	// path below re-fetches them.
+	arenaBase, arena := memory.ArenaView()
+	var w2base uint64
+	var w2 []uint64
 
+	// Local accumulators; flushed at every exit and around handler calls.
+	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
+	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
+	byCat := acct.ByCategory
+
+	var rerr error
 	m.PC = 0
 	pc := 0
+loop:
 	for {
-		if pc < 0 || pc >= n {
-			m.PC = pc
-			return fmt.Errorf("amnesic: pc %d out of range (%q)", pc, p.Name)
+		if uint(pc) >= uint(n) {
+			rerr = fmt.Errorf("amnesic: pc %d out of range (%q)", pc, p.Name)
+			break loop
 		}
-		if acct.Instrs >= max {
-			m.PC = pc
-			return fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
+		if instrs >= max {
+			rerr = fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
+			break loop
 		}
-		acct.EnergyNJ += fetchE
-		acct.FetchNJ += fetchE
-		acct.TimeNS += fetchT
+		energyNJ += fetchE
+		fetchNJ += fetchE
+		timeNS += fetchT
 		switch kinds[pc] {
 		case isa.KindCompute:
-			dst := dsts[pc]
-			v := isa.EvalComputeOp(ops[pc], imms[pc], regs[src1s[pc]], regs[src2s[pc]], regs[dst])
-			if dst != 0 {
+			op := ops[pc]
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var v uint64
+			switch op {
+			case isa.ADD:
+				v = a + b
+			case isa.ADDI:
+				v = a + uint64(imms[pc])
+			case isa.LI:
+				v = uint64(imms[pc])
+			case isa.MOV:
+				v = a
+			case isa.SUB:
+				v = a - b
+			case isa.MUL:
+				v = a * b
+			case isa.AND:
+				v = a & b
+			case isa.OR:
+				v = a | b
+			case isa.XOR:
+				v = a ^ b
+			case isa.SHL:
+				v = a << (b & 63)
+			case isa.SHR:
+				v = a >> (b & 63)
+			case isa.SLT:
+				if int64(a) < int64(b) {
+					v = 1
+				}
+			case isa.SEQ:
+				if a == b {
+					v = 1
+				}
+			default:
+				v = isa.EvalComputeOp(op, imms[pc], a, b, regs[dsts[pc]&31])
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
 				regs[dst] = v
 			}
 			cat := cats[pc]
 			e := ct.EPI[cat]
-			acct.EnergyNJ += e
-			acct.NonMemNJ += e
-			acct.TimeNS += ct.Cycle
-			acct.Instrs++
-			acct.ByCategory[cat]++
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[cat]++
 			pc++
 		case isa.KindLoad:
-			addr := regs[src1s[pc]] + uint64(imms[pc])
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
 			if addr&7 != 0 {
-				m.PC = pc
-				return fmt.Errorf("amnesic: pc %d (%s): load: %w", pc, code[pc], mem.CheckAligned(addr))
+				rerr = fmt.Errorf("amnesic: pc %d (%s): load: %w", pc, code[pc], mem.CheckAligned(addr))
+				break loop
 			}
 			var level energy.Level
 			if l1.ProbeHit(addr, false) {
@@ -210,26 +296,41 @@ func (m *Machine) Run() error {
 				level = energy.L1
 			} else {
 				res := hier.AccessMiss(addr, false)
-				m.chargeWritebacks(res)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
 				level = res.Level
 			}
 			e := ct.LoadTot[level]
-			acct.EnergyNJ += e
-			acct.LoadNJ += e
-			acct.TimeNS += ct.LoadLat[level]
-			acct.Instrs++
-			acct.Loads++
-			acct.ByCategory[isa.CatLoad]++
-			v := memory.Load(addr)
-			if dst := dsts[pc]; dst != 0 {
+			energyNJ += e
+			loadNJ += e
+			timeNS += ct.LoadLat[level]
+			instrs++
+			loadCnt++
+			byCat[isa.CatLoad]++
+			var v uint64
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				v = arena[off]
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				v = w2[off]
+			} else {
+				v = memory.Load(addr)
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
 				regs[dst] = v
 			}
 			pc++
 		case isa.KindStore:
-			addr := regs[src1s[pc]] + uint64(imms[pc])
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
 			if addr&7 != 0 {
-				m.PC = pc
-				return fmt.Errorf("amnesic: pc %d (%s): store: %w", pc, code[pc], mem.CheckAligned(addr))
+				rerr = fmt.Errorf("amnesic: pc %d (%s): store: %w", pc, code[pc], mem.CheckAligned(addr))
+				break loop
 			}
 			var level energy.Level
 			if l1.ProbeHit(addr, true) {
@@ -237,83 +338,133 @@ func (m *Machine) Run() error {
 				level = energy.L1
 			} else {
 				res := hier.AccessMiss(addr, true)
-				m.chargeWritebacks(res)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
 				level = res.Level
 			}
 			e := ct.StoreTot[level]
-			acct.EnergyNJ += e
-			acct.StoreNJ += e
-			acct.TimeNS += ct.StoreLat
-			acct.Instrs++
-			acct.Stores++
-			acct.ByCategory[isa.CatStore]++
-			v := regs[src2s[pc]]
-			memory.Store(addr, v)
+			energyNJ += e
+			storeNJ += e
+			timeNS += ct.StoreLat
+			instrs++
+			storeCnt++
+			byCat[isa.CatStore]++
+			v := regs[src2s[pc]&31]
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				arena[off] = v
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				w2[off] = v
+			} else {
+				memory.Store(addr, v)
+				arenaBase, arena = memory.ArenaView()
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
 			if storeHook != nil {
 				storeHook(addr, v)
 			}
 			pc++
 		case isa.KindRec:
-			m.PC = pc // execREC keys RecSpecs by the current PC
+			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+			acct.ByCategory = byCat
+			m.PC = pc // execREC keys its spec table by the current PC
 			m.execREC(code[pc])
+			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
+			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
+			byCat = acct.ByCategory
 			pc++
 		case isa.KindRcmp:
+			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+			acct.ByCategory = byCat
 			m.PC = pc
-			if err := m.execRCMP(code[pc]); err != nil {
+			err := m.execRCMP(code[pc])
+			if err != nil {
 				return fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], err)
 			}
+			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
+			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
+			byCat = acct.ByCategory
 			pc++
 		case isa.KindCondBr:
 			e := ct.EPI[isa.CatBranch]
-			acct.EnergyNJ += e
-			acct.NonMemNJ += e
-			acct.TimeNS += ct.Cycle
-			acct.Instrs++
-			acct.ByCategory[isa.CatBranch]++
-			if isa.BranchTaken(ops[pc], regs[src1s[pc]], regs[src2s[pc]]) {
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var taken bool
+			switch ops[pc] {
+			case isa.BEQ:
+				taken = a == b
+			case isa.BNE:
+				taken = a != b
+			case isa.BLT:
+				taken = int64(a) < int64(b)
+			default: // BGE: KindCondBr decodes exactly four opcodes
+				taken = int64(a) >= int64(b)
+			}
+			if taken {
 				pc = int(targets[pc])
 			} else {
 				pc++
 			}
 		case isa.KindJmp:
 			e := ct.EPI[isa.CatBranch]
-			acct.EnergyNJ += e
-			acct.NonMemNJ += e
-			acct.TimeNS += ct.Cycle
-			acct.Instrs++
-			acct.ByCategory[isa.CatBranch]++
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
 			pc = int(targets[pc])
 		case isa.KindNop:
 			e := ct.EPI[isa.CatNop]
-			acct.EnergyNJ += e
-			acct.NonMemNJ += e
-			acct.TimeNS += ct.Cycle
-			acct.Instrs++
-			acct.ByCategory[isa.CatNop]++
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatNop]++
 			if elim[pc] {
 				m.Stat.NOPsSkipped++
 			}
 			pc++
 		case isa.KindHalt:
 			e := ct.EPI[isa.CatBranch]
-			acct.EnergyNJ += e
-			acct.NonMemNJ += e
-			acct.TimeNS += ct.Cycle
-			acct.Instrs++
-			acct.ByCategory[isa.CatBranch]++
-			m.PC = pc
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
 			m.Stat.HistMaxUsed = m.Hist.MaxUsed
-			return nil
+			break loop
 		case isa.KindRtn:
 			// Slice bodies are traversed inline by execRCMP; control never
 			// falls into them.
-			m.PC = pc
-			return fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], errStrayRTN)
+			rerr = fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], errStrayRTN)
+			break loop
 		default:
-			m.PC = pc
-			return fmt.Errorf("amnesic: pc %d (%s): unimplemented opcode %s", pc, code[pc], ops[pc])
+			rerr = fmt.Errorf("amnesic: pc %d (%s): unimplemented opcode %s", pc, code[pc], ops[pc])
+			break loop
 		}
 	}
+
+	m.PC = pc
+	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+	acct.ByCategory = byCat
+	return rerr
 }
 
 // errStrayRTN preserves the historical step-loop error text.
@@ -326,11 +477,11 @@ func (m *Machine) execREC(in isa.Instr) {
 	m.Acct.AddInstr(m.Model, isa.CatAmnesic)
 	m.Acct.AddHistWrite(m.Model)
 	m.Stat.RecExecuted++
-	spec, ok := m.Ann.RecSpecs[m.PC]
-	if !ok {
+	if !m.recSpecOK[m.PC] {
 		// Defensive: a REC with no spec records nothing.
 		return
 	}
+	spec := &m.recSpecs[m.PC]
 	var vals [3]uint64
 	for slot := 0; slot < 3; slot++ {
 		if spec.Mask&(1<<uint(slot)) != 0 {
@@ -350,7 +501,7 @@ func (m *Machine) execREC(in isa.Instr) {
 func (m *Machine) execRCMP(in isa.Instr) error {
 	m.Stat.RcmpTotal++
 
-	si := m.Ann.SliceByID(in.SliceID)
+	si := m.rcmpSlices[m.PC] // pre-resolved by New
 	if si == nil {
 		return fmt.Errorf("RCMP references unknown slice %d", in.SliceID)
 	}

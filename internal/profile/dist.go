@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// distInline is the number of distinct producers a ProducerDist tracks in
+// its inline array before spilling to a map. Almost every operand has one
+// or two static producers (the dependence graph is overwhelmingly static),
+// so four inline slots cover the hot path without touching the heap.
+const distInline = 4
+
+// ProducerDist is a distribution over static producer PCs. The first
+// distInline distinct producers live in an inline array updated with a
+// short linear scan — no hashing, no allocation — and only genuinely
+// high-fan-in operands (rare) spill to a map. The zero value is an empty,
+// ready-to-use distribution.
+type ProducerDist struct {
+	pcs    [distInline]int32
+	counts [distInline]uint64
+	n      uint8
+	spill  map[int32]uint64
+}
+
+// MakeProducerDist builds a distribution from explicit pc→count pairs
+// (tests and tools; the collectors use Add/AddN).
+func MakeProducerDist(counts map[int]uint64) ProducerDist {
+	var d ProducerDist
+	pcs := make([]int, 0, len(counts))
+	for pc := range counts {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		d.AddN(int32(pc), counts[pc])
+	}
+	return d
+}
+
+// Add counts one dynamic occurrence of producer pc.
+func (d *ProducerDist) Add(pc int32) {
+	for i := 0; i < int(d.n); i++ {
+		if d.pcs[i] == pc {
+			d.counts[i]++
+			return
+		}
+	}
+	if d.n < distInline {
+		d.pcs[d.n], d.counts[d.n] = pc, 1
+		d.n++
+		return
+	}
+	if d.spill == nil {
+		d.spill = make(map[int32]uint64)
+	}
+	d.spill[pc]++
+}
+
+// AddN counts n dynamic occurrences of producer pc.
+func (d *ProducerDist) AddN(pc int32, n uint64) {
+	if n == 0 {
+		return
+	}
+	for i := 0; i < int(d.n); i++ {
+		if d.pcs[i] == pc {
+			d.counts[i] += n
+			return
+		}
+	}
+	if d.n < distInline {
+		d.pcs[d.n], d.counts[d.n] = pc, n
+		d.n++
+		return
+	}
+	if d.spill == nil {
+		d.spill = make(map[int32]uint64)
+	}
+	d.spill[pc] += n
+}
+
+// Empty reports whether the operand was never observed.
+func (d *ProducerDist) Empty() bool { return d.n == 0 }
+
+// Len returns the number of distinct producers.
+func (d *ProducerDist) Len() int { return int(d.n) + len(d.spill) }
+
+// Count returns the dynamic occurrences of producer pc.
+func (d *ProducerDist) Count(pc int) uint64 {
+	for i := 0; i < int(d.n); i++ {
+		if int(d.pcs[i]) == pc {
+			return d.counts[i]
+		}
+	}
+	return d.spill[int32(pc)]
+}
+
+// Total returns the total dynamic occurrences across all producers.
+func (d *ProducerDist) Total() uint64 {
+	var t uint64
+	for i := 0; i < int(d.n); i++ {
+		t += d.counts[i]
+	}
+	for _, n := range d.spill {
+		t += n
+	}
+	return t
+}
+
+// Each visits every (producer, count) pair: inline slots in insertion
+// order, then spilled producers in ascending PC order.
+func (d *ProducerDist) Each(visit func(pc int, n uint64)) {
+	for i := 0; i < int(d.n); i++ {
+		visit(int(d.pcs[i]), d.counts[i])
+	}
+	if len(d.spill) > 0 {
+		pcs := make([]int32, 0, len(d.spill))
+		for pc := range d.spill {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		for _, pc := range pcs {
+			visit(int(pc), d.spill[pc])
+		}
+	}
+}
+
+// Map returns the distribution as a plain pc→count map (tests, debugging).
+func (d *ProducerDist) Map() map[int]uint64 {
+	out := make(map[int]uint64, d.Len())
+	d.Each(func(pc int, n uint64) { out[pc] = n })
+	return out
+}
+
+// Equal reports whether two distributions hold identical content,
+// regardless of inline/spill layout.
+func (d *ProducerDist) Equal(o *ProducerDist) bool {
+	if d.Len() != o.Len() {
+		return false
+	}
+	eq := true
+	d.Each(func(pc int, n uint64) {
+		if o.Count(pc) != n {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// Dominant returns the most frequent producer and its share of dynamic
+// occurrences, in a single allocation-free pass. Ties break toward the
+// lowest PC, so the result is deterministic regardless of visit order.
+// ok is false for an empty distribution.
+func (d *ProducerDist) Dominant() (pc int, share float64, ok bool) {
+	var total, best uint64
+	bestPC := NoProducer
+	take := func(p int, n uint64) {
+		total += n
+		if n > best || (n == best && n > 0 && p < bestPC) {
+			best, bestPC = n, p
+		}
+	}
+	for i := 0; i < int(d.n); i++ {
+		take(int(d.pcs[i]), d.counts[i])
+	}
+	for p, n := range d.spill {
+		take(int(p), n)
+	}
+	if total == 0 {
+		return NoProducer, 0, false
+	}
+	return bestPC, float64(best) / float64(total), true
+}
+
+// String renders the distribution as sorted pc:count pairs.
+func (d ProducerDist) String() string {
+	m := d.Map()
+	pcs := make([]int, 0, len(m))
+	for pc := range m {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	var b strings.Builder
+	b.WriteString("dist[")
+	for i, pc := range pcs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", pc, m[pc])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

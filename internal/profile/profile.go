@@ -13,9 +13,13 @@
 //     by the program);
 //   - last-value locality per static load (§5.6, Fig. 8).
 //
-// Static-PC-keyed structures are dense slices sized to the program length
-// (every retired instruction touches them), with maps reserved for the
-// genuinely sparse keys: address sets and producer distributions.
+// Collect is a fused, hook-free specialized interpreter: a dedicated run
+// loop interleaves execution with dependence tracking, with all
+// address-keyed state held in dense per-word shadow arrays aligned to
+// mem.Memory's flat arena windows (see fused.go). CollectReference keeps
+// the original hook-per-instruction, map-per-address collector as the
+// slow reference implementation; the differential tests assert both
+// produce identical profiles.
 package profile
 
 import (
@@ -29,35 +33,9 @@ import (
 )
 
 // NoProducer marks an operand value with no producing instruction observed:
-// it came from initial register state (a program input held in a register).
+// it came from initial register state (a program input held in a register)
+// or, for loaded values, from initial memory.
 const NoProducer = -1
-
-// ProducerDist is a distribution over static producer PCs.
-type ProducerDist map[int]uint64
-
-// Dominant returns the most frequent producer and its share of dynamic
-// occurrences. ok is false for an empty distribution.
-func (d ProducerDist) Dominant() (pc int, share float64, ok bool) {
-	var total, best uint64
-	bestPC := NoProducer
-	// Deterministic tie-break: lowest PC wins.
-	pcs := make([]int, 0, len(d))
-	for p := range d {
-		pcs = append(pcs, p)
-	}
-	sort.Ints(pcs)
-	for _, p := range pcs {
-		n := d[p]
-		total += n
-		if n > best {
-			best, bestPC = n, p
-		}
-	}
-	if total == 0 {
-		return NoProducer, 0, false
-	}
-	return bestPC, float64(best) / float64(total), true
-}
 
 // LoadInfo aggregates profiling data for one static load.
 type LoadInfo struct {
@@ -110,6 +88,33 @@ func (li *LoadInfo) ValueLocality() float64 {
 	return float64(li.SameValue) / float64(li.Count-1)
 }
 
+// writtenWin is one dense window of the written-address set: word w is
+// written iff st[w-base] >= 0 (st holds the last store PC, -1 = never
+// stored). The fused collector hands its shadow windows over directly,
+// so finalization costs nothing.
+type writtenWin struct {
+	base uint64 // word index of st[0]
+	st   []int32
+}
+
+// writtenSet records which words the program stored to: dense windows for
+// addresses inside the memory's flat arenas, a spill map (keyed by word
+// index) for the rest. The reference collector uses a pure-spill set.
+type writtenSet struct {
+	wins  []writtenWin
+	spill map[uint64]bool
+}
+
+func (ws *writtenSet) contains(w uint64) bool {
+	for i := range ws.wins {
+		win := &ws.wins[i]
+		if off := w - win.base; off < uint64(len(win.st)) {
+			return win.st[off] >= 0
+		}
+	}
+	return ws.spill[w]
+}
+
 // Profile is the result of a profiling run. All slice fields are indexed by
 // static PC and sized to the program length.
 type Profile struct {
@@ -117,7 +122,7 @@ type Profile struct {
 
 	// Producers holds, per instruction and source-operand slot (0 = Src1,
 	// 1 = Src2, 2 = Dst-as-source for FMA), the distribution of static PCs
-	// that produced the register value the operand consumed. A nil
+	// that produced the register value the operand consumed. An Empty
 	// distribution means the operand was never observed.
 	Producers [][3]ProducerDist
 
@@ -126,7 +131,7 @@ type Profile struct {
 	Loads []*LoadInfo
 
 	// StoreValueProducer holds, per static store, the distribution of
-	// static PCs producing the stored value (nil if never executed).
+	// static PCs producing the stored value (Empty if never executed).
 	StoreValueProducer []ProducerDist
 
 	// StoresConsumedBy holds, per static store, the set of static load PCs
@@ -137,16 +142,13 @@ type Profile struct {
 	// StoreCount is the dynamic execution count per static store.
 	StoreCount []uint64
 
-	// ReadOnly reports addresses the program never stored to. It is
+	// written records the addresses the program stored to. It is
 	// address-level: a load PC is a "read-only load" if every address it
 	// touched is read-only.
-	writtenAddrs map[uint64]bool
+	written writtenSet
 	// LoadAllReadOnly reports, per static load, whether all its observed
 	// addresses were never written during the run.
 	LoadAllReadOnly []bool
-	// loadTouched records which addresses each load PC touched, so
-	// read-only classification can be finalized after the run.
-	loadTouched []map[uint64]bool
 
 	// InstrCount is the dynamic count per static PC (all opcodes).
 	InstrCount []uint64
@@ -156,24 +158,50 @@ type Profile struct {
 }
 
 // ReadOnlyAddr reports whether the program never stored to addr.
-func (p *Profile) ReadOnlyAddr(addr uint64) bool { return !p.writtenAddrs[addr] }
+func (p *Profile) ReadOnlyAddr(addr uint64) bool { return !p.written.contains(addr >> 3) }
 
-// Collect profiles program p over a fresh default hierarchy and a *clone* of
-// the provided initial memory (the caller's memory is left untouched).
-func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile, error) {
+// WrittenWords returns the sorted word indices the program stored to
+// (tests and tooling; hot callers use ReadOnlyAddr).
+func (p *Profile) WrittenWords() []uint64 {
+	var out []uint64
+	for i := range p.written.wins {
+		win := &p.written.wins[i]
+		for off, st := range win.st {
+			if st >= 0 {
+				out = append(out, win.base+uint64(off))
+			}
+		}
+	}
+	for w := range p.written.spill {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// newProfile allocates the PC-indexed skeleton shared by both collectors.
+func newProfile(p *isa.Program) *Profile {
 	n := len(p.Code)
-	prof := &Profile{
+	return &Profile{
 		Program:            p,
 		Producers:          make([][3]ProducerDist, n),
 		Loads:              make([]*LoadInfo, n),
 		StoreValueProducer: make([]ProducerDist, n),
 		StoresConsumedBy:   make([]map[int]bool, n),
 		StoreCount:         make([]uint64, n),
-		writtenAddrs:       make(map[uint64]bool, n),
 		LoadAllReadOnly:    make([]bool, n),
-		loadTouched:        make([]map[uint64]bool, n),
 		InstrCount:         make([]uint64, n),
 	}
+}
+
+// CollectReference profiles program p with the original hook-per-instruction
+// collector: a classic core run with a cpu.Event hook, recording through
+// sparse per-address maps. It is retained purely as the reference
+// implementation the fused collector (Collect) is differentially tested
+// against; production paths should call Collect.
+func CollectReference(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile, error) {
+	prof := newProfile(p)
+	n := len(p.Code)
 
 	// regProducer tracks the static PC that last wrote each register
 	// (NoProducer = initial state).
@@ -188,17 +216,16 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 		storePC       int
 	}
 	memProd := make(map[uint64]memOrigin, n)
+	writtenAddrs := make(map[uint64]bool, n)
+	// loadTouched records which addresses each load PC touched, so
+	// read-only classification can be finalized after the run.
+	loadTouched := make([]map[uint64]bool, n)
 
 	record := func(pc, opIdx int, r isa.Reg) {
 		if r == isa.R0 {
 			return
 		}
-		d := prof.Producers[pc][opIdx]
-		if d == nil {
-			d = make(ProducerDist)
-			prof.Producers[pc][opIdx] = d
-		}
-		d[regProducer[r]]++
+		prof.Producers[pc][opIdx].Add(int32(regProducer[r]))
 	}
 
 	kinds := p.Decoded().Kind
@@ -227,7 +254,7 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 			record(pc, 0, in.Src1) // address operand
 			li := prof.Loads[pc]
 			if li == nil {
-				li = &LoadInfo{PC: pc, ValueProducer: make(ProducerDist)}
+				li = &LoadInfo{PC: pc}
 				prof.Loads[pc] = li
 			}
 			li.Count++
@@ -238,7 +265,7 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 			li.lastValue, li.lastValueSet = ev.Value, true
 			org, written := memProd[ev.Addr]
 			if written {
-				li.ValueProducer[org.valueProducer]++
+				li.ValueProducer.Add(int32(org.valueProducer))
 				set := prof.StoresConsumedBy[org.storePC]
 				if set == nil {
 					set = make(map[int]bool)
@@ -246,12 +273,12 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 				}
 				set[pc] = true
 			} else {
-				li.ValueProducer[NoProducer]++
+				li.ValueProducer.Add(NoProducer)
 			}
-			t := prof.loadTouched[pc]
+			t := loadTouched[pc]
 			if t == nil {
 				t = make(map[uint64]bool)
-				prof.loadTouched[pc] = t
+				loadTouched[pc] = t
 			}
 			t[ev.Addr] = true
 			// A load is a register def for dependence purposes.
@@ -260,13 +287,8 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 			record(pc, 0, in.Src1) // address operand
 			record(pc, 1, in.Src2) // value operand
 			prof.StoreCount[pc]++
-			vp := prof.StoreValueProducer[pc]
-			if vp == nil {
-				vp = make(ProducerDist)
-				prof.StoreValueProducer[pc] = vp
-			}
-			vp[regProducer[in.Src2]]++
-			prof.writtenAddrs[ev.Addr] = true
+			prof.StoreValueProducer[pc].Add(int32(regProducer[in.Src2]))
+			writtenAddrs[ev.Addr] = true
 			memProd[ev.Addr] = memOrigin{valueProducer: regProducer[in.Src2], storePC: pc}
 		case isa.KindCondBr:
 			// Branches: record condition operand producers too, so the
@@ -281,18 +303,22 @@ func Collect(model *energy.Model, p *isa.Program, initial *mem.Memory) (*Profile
 	}
 
 	// Finalize per-load read-only classification.
-	for pc, touched := range prof.loadTouched {
+	for pc, touched := range loadTouched {
 		if touched == nil {
 			continue
 		}
 		ro := true
 		for a := range touched {
-			if prof.writtenAddrs[a] {
+			if writtenAddrs[a] {
 				ro = false
 				break
 			}
 		}
 		prof.LoadAllReadOnly[pc] = ro
+	}
+	prof.written.spill = make(map[uint64]bool, len(writtenAddrs))
+	for a := range writtenAddrs {
+		prof.written.spill[a>>3] = true
 	}
 	return prof, nil
 }
@@ -303,8 +329,8 @@ func (p *Profile) DominantProducer(pc, operand int) (int, float64, bool) {
 	if pc < 0 || pc >= len(p.Producers) {
 		return NoProducer, 0, false
 	}
-	d := p.Producers[pc][operand]
-	if d == nil {
+	d := &p.Producers[pc][operand]
+	if d.Empty() {
 		return NoProducer, 0, false
 	}
 	return d.Dominant()

@@ -139,7 +139,7 @@ func TestDeadStoreAnalysis(t *testing.T) {
 }
 
 func TestDominantTieBreakDeterministic(t *testing.T) {
-	d := profile.ProducerDist{5: 10, 3: 10}
+	d := profile.MakeProducerDist(map[int]uint64{5: 10, 3: 10})
 	pc, share, ok := d.Dominant()
 	if !ok || pc != 3 || share != 0.5 {
 		t.Errorf("Dominant = %d,%v,%v; want lowest PC 3", pc, share, ok)
