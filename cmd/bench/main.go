@@ -16,8 +16,11 @@
 //	bench                              # responsive suite, scale 0.3
 //	bench -scale 0.1 -runs 5
 //	bench -bench is,mcf -out /tmp/b.json
+//	bench -notrace                     # classic without the trace engine
 //	bench -validate BENCH_interp.json  # sanity-check an existing report
 //	bench -floor profiled=25           # exit 1 if aggregate MIPS dips below
+//	bench -compare old.json new.json   # per-workload deltas; exit 1 on
+//	                                   # regression beyond -regress (10%)
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +42,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/policy"
 	"github.com/amnesiac-sim/amnesiac/internal/pprofutil"
 	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 	"github.com/amnesiac-sim/amnesiac/internal/uarch"
 	"github.com/amnesiac-sim/amnesiac/internal/workloads"
 )
@@ -45,14 +50,20 @@ import (
 // Modes in report order.
 var modes = []string{"classic", "profiled", "amnesic"}
 
-// ModeResult is one (workload, mode) throughput measurement. Wall time is
-// the best of -runs repetitions, so transient scheduling noise does not
-// understate throughput.
+// ModeResult is one (workload, mode) throughput measurement. The headline
+// wall time and MIPS are the best of -runs repetitions, so transient
+// scheduling noise does not understate throughput; MinMIPS and MedianMIPS
+// record the worst and median run so a report also shows how noisy the host
+// was. Floor values for CI should be derived from the min numbers (plus
+// headroom), which is what keeps -floor gating from flapping on shared
+// hosts.
 type ModeResult struct {
 	Instrs     uint64  `json:"instrs"`
 	WallNS     int64   `json:"wall_ns"`
 	NsPerInstr float64 `json:"ns_per_instr"`
 	MIPS       float64 `json:"mips"`
+	MinMIPS    float64 `json:"mips_min,omitempty"`
+	MedianMIPS float64 `json:"mips_median,omitempty"`
 }
 
 // WorkloadResult groups the three modes for one benchmark.
@@ -73,35 +84,44 @@ type Report struct {
 	Totals    map[string]ModeResult `json:"totals"`
 }
 
-func finish(instrs uint64, wall time.Duration) ModeResult {
-	r := ModeResult{Instrs: instrs, WallNS: wall.Nanoseconds()}
-	if instrs > 0 && wall > 0 {
-		r.NsPerInstr = float64(wall.Nanoseconds()) / float64(instrs)
-		r.MIPS = float64(instrs) / wall.Seconds() / 1e6
+func mips(instrs uint64, wall time.Duration) float64 {
+	if instrs == 0 || wall <= 0 {
+		return 0
+	}
+	return float64(instrs) / wall.Seconds() / 1e6
+}
+
+func finish(instrs uint64, best, worst, median time.Duration) ModeResult {
+	r := ModeResult{Instrs: instrs, WallNS: best.Nanoseconds()}
+	if instrs > 0 && best > 0 {
+		r.NsPerInstr = float64(best.Nanoseconds()) / float64(instrs)
+		r.MIPS = mips(instrs, best)
+		r.MinMIPS = mips(instrs, worst)
+		r.MedianMIPS = mips(instrs, median)
 	}
 	return r
 }
 
-// bestOf runs f repeatedly, returning the retired-instruction count and the
-// minimum self-reported wall time. f times its own hot section, so per-run
-// setup (memory clones, machine construction) stays off the clock.
+// bestOf runs f repeatedly and reports throughput over the best run, with
+// the worst and median runs recorded alongside. f times its own hot section,
+// so per-run setup (memory clones, machine construction) stays off the
+// clock.
 func bestOf(runs int, f func() (uint64, time.Duration, error)) (ModeResult, error) {
-	var best time.Duration
+	walls := make([]time.Duration, 0, runs)
 	var instrs uint64
 	for i := 0; i < runs; i++ {
 		n, wall, err := f()
 		if err != nil {
 			return ModeResult{}, err
 		}
-		if i == 0 || wall < best {
-			best = wall
-		}
+		walls = append(walls, wall)
 		instrs = n
 	}
-	return finish(instrs, best), nil
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	return finish(instrs, walls[0], walls[len(walls)-1], walls[len(walls)/2]), nil
 }
 
-func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, want map[string]bool) (*WorkloadResult, error) {
+func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, want map[string]bool, noTrace bool) (*WorkloadResult, error) {
 	model := energy.Default()
 	prog, initial := w.Build(scale)
 
@@ -115,6 +135,9 @@ func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, w
 			h := mem.NewDefaultHierarchy()
 			core := cpu.New(model, h, m)
 			core.MaxInstrs = maxInstrs
+			if noTrace {
+				core.Trace = trace.Config{}
+			}
 			start := time.Now()
 			err := core.Run(prog)
 			return core.Acct.Instrs, time.Since(start), err
@@ -194,6 +217,9 @@ func validate(path string) error {
 			if mr.Instrs == 0 || mr.WallNS <= 0 || mr.MIPS <= 0 {
 				return fmt.Errorf("%s: %s/%s has degenerate measurement %+v", path, wr.Name, mode, mr)
 			}
+			if mr.MinMIPS > mr.MIPS+1e-9 || (mr.MedianMIPS > 0 && mr.MedianMIPS > mr.MIPS+1e-9) {
+				return fmt.Errorf("%s: %s/%s min/median exceed best-of MIPS %+v", path, wr.Name, mode, mr)
+			}
 		}
 	}
 	for _, mode := range modes {
@@ -215,10 +241,25 @@ func main() {
 		checkPath  = flag.String("validate", "", "validate an existing report file and exit")
 		modeFlag   = flag.String("modes", "classic,profiled,amnesic", "comma-separated modes to measure")
 		floorFlag  = flag.String("floor", "", "mode=MIPS[,mode=MIPS] aggregate throughput floors; exit 1 if unmet")
+		compareRun = flag.Bool("compare", false, "compare two report files (bench -compare old.json new.json) and exit")
+		regress    = flag.Float64("regress", 0.10, "with -compare, max tolerated fractional MIPS regression per (workload, mode)")
+		noTrace    = flag.Bool("notrace", false, "disable the classic core's trace engine (measure the pure interpreter)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *compareRun {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare wants exactly two report paths (old.json new.json)")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), *regress); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProf, err := pprofutil.StartCPU(*cpuProfile)
 	if err != nil {
@@ -289,9 +330,11 @@ func main() {
 	}
 	totalInstrs := make(map[string]uint64, len(modes))
 	totalWall := make(map[string]int64, len(modes))
+	totalWorst := make(map[string]float64, len(modes))
+	totalMedian := make(map[string]float64, len(modes))
 	for _, w := range ws {
 		fmt.Fprintf(os.Stderr, "bench: %s (scale %.2f)...\n", w.Name, *scale)
-		wr, err := measure(w, *scale, uint64(*maxInstr), *runs, want)
+		wr, err := measure(w, *scale, uint64(*maxInstr), *runs, want, *noTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
@@ -300,11 +343,21 @@ func main() {
 		for mode, mr := range wr.Modes {
 			totalInstrs[mode] += mr.Instrs
 			totalWall[mode] += mr.WallNS
+			// Recover the worst/median wall times (instrs/MIPS is µs) so
+			// the aggregate min/median reflect a suite-wide run at that
+			// percentile.
+			if mr.MinMIPS > 0 {
+				totalWorst[mode] += float64(mr.Instrs) / mr.MinMIPS * 1e3
+			}
+			if mr.MedianMIPS > 0 {
+				totalMedian[mode] += float64(mr.Instrs) / mr.MedianMIPS * 1e3
+			}
 		}
 	}
 	for _, mode := range modes {
 		if want[mode] {
-			rep.Totals[mode] = finish(totalInstrs[mode], time.Duration(totalWall[mode]))
+			rep.Totals[mode] = finish(totalInstrs[mode], time.Duration(totalWall[mode]),
+				time.Duration(totalWorst[mode]), time.Duration(totalMedian[mode]))
 		}
 	}
 
@@ -342,6 +395,78 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// compareReports prints per-(workload, mode) MIPS deltas between two report
+// files and fails if any measured pair regressed by more than the tolerated
+// fraction. Workloads or modes present in only one report are noted but not
+// gated, so a suite change does not mask a throughput change.
+func compareReports(oldPath, newPath string, tolerate float64) error {
+	load := func(path string) (*Report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]map[string]ModeResult, len(oldRep.Workloads))
+	for _, wr := range oldRep.Workloads {
+		oldBy[wr.Name] = wr.Modes
+	}
+	var regressed []string
+	for _, wr := range newRep.Workloads {
+		oldModes, ok := oldBy[wr.Name]
+		if !ok {
+			fmt.Printf("%-6s only in %s\n", wr.Name, newPath)
+			continue
+		}
+		delete(oldBy, wr.Name)
+		for _, mode := range modes {
+			nm, ok := wr.Modes[mode]
+			if !ok {
+				continue
+			}
+			om, ok := oldModes[mode]
+			if !ok || om.MIPS <= 0 {
+				fmt.Printf("%-6s %-8s %8.1f MIPS (no old measurement)\n", wr.Name, mode, nm.MIPS)
+				continue
+			}
+			ratio := nm.MIPS / om.MIPS
+			verdict := ""
+			if ratio < 1-tolerate {
+				verdict = "  REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s/%s %.1f%%", wr.Name, mode, (ratio-1)*100))
+			}
+			fmt.Printf("%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%%s\n",
+				wr.Name, mode, om.MIPS, nm.MIPS, (ratio-1)*100, verdict)
+		}
+	}
+	for name := range oldBy {
+		fmt.Printf("%-6s only in %s\n", name, oldPath)
+	}
+	for _, mode := range modes {
+		om, nm := oldRep.Totals[mode], newRep.Totals[mode]
+		if om.MIPS > 0 && nm.MIPS > 0 {
+			fmt.Printf("%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%\n",
+				"TOTAL", mode, om.MIPS, nm.MIPS, (nm.MIPS/om.MIPS-1)*100)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("regression beyond %.0f%%: %s", tolerate*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // parseFloors parses the -floor spec ("profiled=25,classic=100") into a

@@ -12,11 +12,12 @@ import (
 	"fmt"
 
 	"github.com/amnesiac-sim/amnesiac/internal/compiler"
-	"github.com/amnesiac-sim/amnesiac/internal/cpu"
 	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/exec"
 	"github.com/amnesiac-sim/amnesiac/internal/isa"
 	"github.com/amnesiac-sim/amnesiac/internal/mem"
 	"github.com/amnesiac-sim/amnesiac/internal/policy"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 	"github.com/amnesiac-sim/amnesiac/internal/uarch"
 )
 
@@ -69,8 +70,16 @@ type Machine struct {
 	Acct energy.Account
 	Stat Stats
 
-	// MaxInstrs bounds the run; 0 means cpu.DefaultMaxInstrs.
+	// MaxInstrs bounds the run; 0 means exec.DefaultMaxInstrs.
 	MaxInstrs uint64
+
+	// Trace configures the trace-reuse engine for this run. Amnesic tracing
+	// is off by default (the zero Config) and opt-in behind this field: hot
+	// loops containing RCMP/REC blacklist themselves, so only pure loops
+	// replay, and replay is bit-identical to interpretation. Engine, after
+	// Run, is the engine used (nil when tracing was off).
+	Trace  trace.Config
+	Engine *trace.Engine
 
 	// StoreHook, if non-nil, observes every architectural store (ST) in
 	// retirement order. The differential tester uses it to compare the
@@ -172,299 +181,68 @@ func (m *Machine) WriteReg(r isa.Reg, v uint64) {
 	}
 }
 
-// Run executes the annotated program to HALT. Like the classic core's fast
-// path it dispatches over the pre-decoded program form with re-sliced
-// arrays (one bounds test per iteration), masked register indices, inline
-// hot ALU ops, a two-entry flat-window data micro-TLB, and every energy
-// charge accumulated in locals — in exactly the order the energy.Account
-// helpers would add them, so the floating-point totals stay bit-identical.
-// The amnesic opcodes (REC/RCMP and the slices they traverse) keep their
-// out-of-line handlers; the locals are flushed to m.Acct before each
-// handler call and reloaded after, since handlers account through m.Acct.
+// Run executes the annotated program to HALT on the shared dispatch core
+// (internal/exec): pre-decoded struct-of-arrays dispatch, masked register
+// indices, inline hot ALU ops, a two-entry flat-window data micro-TLB, and
+// every energy charge accumulated in locals in exactly the order the
+// energy.Account helpers would add them, so the floating-point totals stay
+// bit-identical to the historical hand-rolled loop. The amnesic opcodes
+// (REC/RCMP and the slices they traverse) keep their out-of-line handlers,
+// reached through the exec.Aux interface; the core flushes its accumulators
+// to m.Acct before each handler call and reloads them after. Trace reuse
+// (m.Trace) replays pure hot loops; loops crossing REC/RCMP blacklist
+// themselves and stay interpreted.
 func (m *Machine) Run() error {
-	p := m.Ann.Prog
-	d := p.Decoded()
-	code := p.Code
-	n := d.Len()
 	max := m.MaxInstrs
 	if max == 0 {
-		max = cpu.DefaultMaxInstrs
+		max = exec.DefaultMaxInstrs
 	}
-	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
-	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
-	hier, l1, memory := m.Hier, m.Hier.L1, m.Mem
-	acct := &m.Acct
-	regs := &m.Regs
-	regs[isa.R0] = 0
-	ct := cpu.BuildCharges(m.Model)
-	// Hoist per-instruction fetch parameters out of the hot loop; the
-	// model is read-only for the duration of the run.
-	fetchE, fetchT := m.Model.FetchEnergy, m.Model.FetchLatency
-	wbL2, wbMem := m.Model.WriteEnergy[energy.L2], m.Model.WriteEnergy[energy.Mem]
-	cycle := ct.Cycle
-	storeHook := m.StoreHook
-	elim := m.elimNOP
-	// Flat windows held in locals, forming a two-entry data micro-TLB (see
-	// cpu.runFast). The REC/RCMP handlers never store to memory, so the
-	// windows cannot go stale across handler calls; only the store slow
-	// path below re-fetches them.
-	arenaBase, arena := memory.ArenaView()
-	var w2base uint64
-	var w2 []uint64
-
-	// Local accumulators; flushed at every exit and around handler calls.
-	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
-	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
-	byCat := acct.ByCategory
-
-	var rerr error
+	m.Regs[isa.R0] = 0
 	m.PC = 0
-	pc := 0
-loop:
-	for {
-		if uint(pc) >= uint(n) {
-			rerr = fmt.Errorf("amnesic: pc %d out of range (%q)", pc, p.Name)
-			break loop
-		}
-		if instrs >= max {
-			rerr = fmt.Errorf("%w (%d)", cpu.ErrInstrBudget, max)
-			break loop
-		}
-		energyNJ += fetchE
-		fetchNJ += fetchE
-		timeNS += fetchT
-		switch kinds[pc] {
-		case isa.KindCompute:
-			op := ops[pc]
-			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
-			var v uint64
-			switch op {
-			case isa.ADD:
-				v = a + b
-			case isa.ADDI:
-				v = a + uint64(imms[pc])
-			case isa.LI:
-				v = uint64(imms[pc])
-			case isa.MOV:
-				v = a
-			case isa.SUB:
-				v = a - b
-			case isa.MUL:
-				v = a * b
-			case isa.AND:
-				v = a & b
-			case isa.OR:
-				v = a | b
-			case isa.XOR:
-				v = a ^ b
-			case isa.SHL:
-				v = a << (b & 63)
-			case isa.SHR:
-				v = a >> (b & 63)
-			case isa.SLT:
-				if int64(a) < int64(b) {
-					v = 1
-				}
-			case isa.SEQ:
-				if a == b {
-					v = 1
-				}
-			default:
-				v = isa.EvalComputeOp(op, imms[pc], a, b, regs[dsts[pc]&31])
-			}
-			if dst := dsts[pc] & 31; dst != 0 {
-				regs[dst] = v
-			}
-			cat := cats[pc]
-			e := ct.EPI[cat]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[cat]++
-			pc++
-		case isa.KindLoad:
-			addr := regs[src1s[pc]&31] + uint64(imms[pc])
-			if addr&7 != 0 {
-				rerr = fmt.Errorf("amnesic: pc %d (%s): load: %w", pc, code[pc], mem.CheckAligned(addr))
-				break loop
-			}
-			var level energy.Level
-			if l1.ProbeHit(addr, false) {
-				hier.Serviced[energy.L1]++
-				level = energy.L1
-			} else {
-				res := hier.AccessMiss(addr, false)
-				for i := 0; i < res.WritebackL2; i++ {
-					energyNJ += wbL2
-					storeNJ += wbL2
-				}
-				for i := 0; i < res.WritebackMem; i++ {
-					energyNJ += wbMem
-					storeNJ += wbMem
-				}
-				level = res.Level
-			}
-			e := ct.LoadTot[level]
-			energyNJ += e
-			loadNJ += e
-			timeNS += ct.LoadLat[level]
-			instrs++
-			loadCnt++
-			byCat[isa.CatLoad]++
-			var v uint64
-			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
-				v = arena[off]
-			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
-				v = w2[off]
-			} else {
-				v = memory.Load(addr)
-				w2base, w2, _ = memory.WindowFor(addr)
-			}
-			if dst := dsts[pc] & 31; dst != 0 {
-				regs[dst] = v
-			}
-			pc++
-		case isa.KindStore:
-			addr := regs[src1s[pc]&31] + uint64(imms[pc])
-			if addr&7 != 0 {
-				rerr = fmt.Errorf("amnesic: pc %d (%s): store: %w", pc, code[pc], mem.CheckAligned(addr))
-				break loop
-			}
-			var level energy.Level
-			if l1.ProbeHit(addr, true) {
-				hier.Serviced[energy.L1]++
-				level = energy.L1
-			} else {
-				res := hier.AccessMiss(addr, true)
-				for i := 0; i < res.WritebackL2; i++ {
-					energyNJ += wbL2
-					storeNJ += wbL2
-				}
-				for i := 0; i < res.WritebackMem; i++ {
-					energyNJ += wbMem
-					storeNJ += wbMem
-				}
-				level = res.Level
-			}
-			e := ct.StoreTot[level]
-			energyNJ += e
-			storeNJ += e
-			timeNS += ct.StoreLat
-			instrs++
-			storeCnt++
-			byCat[isa.CatStore]++
-			v := regs[src2s[pc]&31]
-			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
-				arena[off] = v
-			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
-				w2[off] = v
-			} else {
-				memory.Store(addr, v)
-				arenaBase, arena = memory.ArenaView()
-				w2base, w2, _ = memory.WindowFor(addr)
-			}
-			if storeHook != nil {
-				storeHook(addr, v)
-			}
-			pc++
-		case isa.KindRec:
-			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
-			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-			acct.ByCategory = byCat
-			m.PC = pc // execREC keys its spec table by the current PC
-			m.execREC(code[pc])
-			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
-			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
-			byCat = acct.ByCategory
-			pc++
-		case isa.KindRcmp:
-			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
-			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-			acct.ByCategory = byCat
-			m.PC = pc
-			err := m.execRCMP(code[pc])
-			if err != nil {
-				return fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], err)
-			}
-			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
-			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
-			byCat = acct.ByCategory
-			pc++
-		case isa.KindCondBr:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
-			var taken bool
-			switch ops[pc] {
-			case isa.BEQ:
-				taken = a == b
-			case isa.BNE:
-				taken = a != b
-			case isa.BLT:
-				taken = int64(a) < int64(b)
-			default: // BGE: KindCondBr decodes exactly four opcodes
-				taken = int64(a) >= int64(b)
-			}
-			if taken {
-				pc = int(targets[pc])
-			} else {
-				pc++
-			}
-		case isa.KindJmp:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			pc = int(targets[pc])
-		case isa.KindNop:
-			e := ct.EPI[isa.CatNop]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatNop]++
-			if elim[pc] {
-				m.Stat.NOPsSkipped++
-			}
-			pc++
-		case isa.KindHalt:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			m.Stat.HistMaxUsed = m.Hist.MaxUsed
-			break loop
-		case isa.KindRtn:
-			// Slice bodies are traversed inline by execRCMP; control never
-			// falls into them.
-			rerr = fmt.Errorf("amnesic: pc %d (%s): %w", pc, code[pc], errStrayRTN)
-			break loop
-		default:
-			rerr = fmt.Errorf("amnesic: pc %d (%s): unimplemented opcode %s", pc, code[pc], ops[pc])
-			break loop
-		}
+	env := exec.Env{
+		Model:       m.Model,
+		Hier:        m.Hier,
+		Mem:         m.Mem,
+		Regs:        &m.Regs,
+		Acct:        &m.Acct,
+		MaxInstrs:   max,
+		ChargeFetch: true,
+		Aux:         m,
+		StoreHook:   m.StoreHook,
+		ElimNOP:     m.elimNOP,
+		NopSkips:    &m.Stat.NOPsSkipped,
+		Trace:       m.Trace,
 	}
+	err := exec.Run(&env, m.Ann.Prog)
+	m.PC = env.PC
+	m.Engine = env.Engine
+	if err == nil {
+		// Reached HALT: record the Hist high-water mark (§5.4 sizing).
+		m.Stat.HistMaxUsed = m.Hist.MaxUsed
+	}
+	return err
+}
 
+// ExecRec implements exec.Aux: execute the REC at pc.
+func (m *Machine) ExecRec(pc int) {
+	m.PC = pc // execREC keys its spec table by the current PC
+	m.execREC(m.Ann.Prog.Code[pc])
+}
+
+// ExecRcmp implements exec.Aux: execute the RCMP at pc, wrapping failures
+// in the historical "amnesic: pc ..." form.
+func (m *Machine) ExecRcmp(pc int) error {
 	m.PC = pc
-	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
-	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-	acct.ByCategory = byCat
-	return rerr
+	if err := m.execRCMP(m.Ann.Prog.Code[pc]); err != nil {
+		return fmt.Errorf("amnesic: pc %d (%s): %w", pc, m.Ann.Prog.Code[pc], err)
+	}
+	return nil
+}
+
+// StrayRtn implements exec.Aux: slice bodies are traversed inline by
+// execRCMP, so control never legitimately falls into an RTN.
+func (m *Machine) StrayRtn(pc int) error {
+	return fmt.Errorf("amnesic: pc %d (%s): %w", pc, m.Ann.Prog.Code[pc], errStrayRTN)
 }
 
 // errStrayRTN preserves the historical step-loop error text.

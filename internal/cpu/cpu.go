@@ -8,30 +8,39 @@
 // Table 3 frequency; loads stall for the round-trip latency of the level
 // that services them; stores retire at L1-D speed (write-back hierarchy).
 //
-// Both run loops dispatch over the program's pre-decoded form
-// (isa.Program.Decoded): dense parallel arrays replace per-instruction
-// opcode classification, and the energy charges of energy.Account are
-// inlined from per-category/per-level tables precomputed once per run.
-// The tables hold exactly the values the Account methods would compute,
-// accumulated in the same order, so the floating-point results are
-// bit-identical to the method-call formulation.
+// The hook-free path executes on the shared dispatch core (internal/exec),
+// which also hosts the trace-reuse engine: hot loops are recorded once and
+// replayed as fused superblocks (see internal/trace). Tracing is on by
+// default for classic runs — replay is bit-identical to interpretation in
+// both architectural state and energy accounting — and can be tuned or
+// disabled through the Trace field. The hooked path stays a plain
+// interpreter: per-instruction events are incompatible with replay.
 package cpu
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/exec"
 	"github.com/amnesiac-sim/amnesiac/internal/isa"
 	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 )
 
 // DefaultMaxInstrs bounds dynamic instruction count to guard against
-// non-terminating programs.
-const DefaultMaxInstrs = 200_000_000
+// non-terminating programs. It aliases the shared core's limit.
+const DefaultMaxInstrs = exec.DefaultMaxInstrs
 
-// ErrInstrBudget is returned when execution exceeds MaxInstrs.
-var ErrInstrBudget = errors.New("cpu: dynamic instruction budget exceeded")
+// ErrInstrBudget is returned when execution exceeds MaxInstrs. It is the
+// shared core's sentinel, so errors.Is works against either name.
+var ErrInstrBudget = exec.ErrInstrBudget
+
+// ChargeTable and BuildCharges moved to the shared execution core; the
+// aliases keep existing callers (profiler, tests) compiling unchanged.
+type ChargeTable = exec.ChargeTable
+
+// BuildCharges derives the charge table from a read-only model.
+func BuildCharges(m *energy.Model) ChargeTable { return exec.BuildCharges(m) }
 
 // Event describes one retired instruction, delivered to the Hook.
 type Event struct {
@@ -60,16 +69,28 @@ type Core struct {
 	// Hook, if non-nil, observes every retired instruction. The profiler
 	// installs one; plain runs leave it nil for speed. The Event is reused
 	// across steps: hooks must copy out anything they keep past the call.
+	// A hooked run always interprets (no trace replay).
 	Hook func(*Event)
+	// StoreHook, if non-nil, observes every architectural store (ST) in
+	// retirement order, on both the fast and hooked paths. The differential
+	// tester uses it to collect the store stream of traced runs, which have
+	// no per-instruction Hook.
+	StoreHook func(addr, val uint64)
 	// ChargeFetch adds per-instruction L1-I fetch energy when true. The
 	// paper's Table 4 breakdown separates loads/stores/non-mem; fetch is
 	// charged so classic and amnesic executions are comparable.
 	ChargeFetch bool
+	// Trace configures the trace-reuse engine for the hook-free path. New
+	// enables it with default tuning; zero it to force pure interpretation.
+	Trace trace.Config
+	// Engine, after a hook-free Run, is the trace engine the run used (nil
+	// when tracing was disabled): counters for tests and diagnostics.
+	Engine *trace.Engine
 }
 
 // New returns a core over fresh state with the given model and hierarchy.
 func New(model *energy.Model, hier *mem.Hierarchy, m *mem.Memory) *Core {
-	return &Core{Model: model, Hier: hier, Mem: m, ChargeFetch: true}
+	return &Core{Model: model, Hier: hier, Mem: m, ChargeFetch: true, Trace: trace.DefaultConfig()}
 }
 
 // ReadReg returns the register value, honoring the hardwired zero register.
@@ -87,46 +108,14 @@ func (c *Core) WriteReg(r isa.Reg, v uint64) {
 	}
 }
 
-// ChargeTable holds per-run precomputed energy charges for inlined
-// accounting: per-category instruction energies and combined
-// (issue + hierarchy) load/store energies per serviced level. The values
-// are computed by the same Model methods the Account helpers call, so
-// accumulating them yields bit-identical floating-point totals. The
-// amnesic machine's run loop shares it.
-type ChargeTable struct {
-	EPI      [isa.NumCategories]float64
-	LoadTot  [energy.NumLevels]float64
-	StoreTot [energy.NumLevels]float64
-	LoadLat  [energy.NumLevels]float64
-	StoreLat float64
-	Cycle    float64
-}
-
-// BuildCharges derives the charge table from a read-only model.
-func BuildCharges(m *energy.Model) ChargeTable {
-	var t ChargeTable
-	for cat := range t.EPI {
-		t.EPI[cat] = m.InstrEnergy(isa.Category(cat))
-	}
-	for l := energy.L1; l < energy.NumLevels; l++ {
-		t.LoadTot[l] = m.InstrEnergy(isa.CatLoad) + m.LoadEnergy(l)
-		t.StoreTot[l] = m.InstrEnergy(isa.CatStore) + m.StoreEnergy(l)
-		t.LoadLat[l] = m.LoadLatency(l)
-	}
-	t.StoreLat = m.Latency[energy.L1]
-	t.Cycle = m.CycleNS()
-	return t
-}
-
 // Run executes the program from PC 0 until HALT. It returns an error for
 // malformed programs, amnesic opcodes (which only the amnesic machine
 // executes), misaligned accesses, or budget exhaustion.
 //
 // When Hook is nil — every plain simulation; only the profiler installs a
-// hook — Run takes a fast-path loop with all hook bookkeeping (operand
-// snapshots, event construction) compiled out. Both paths dispatch over
-// the pre-decoded program and are architecturally and energetically
-// identical.
+// hook — Run executes on the shared dispatch core with trace reuse per the
+// Trace config. Both paths dispatch over the pre-decoded program and are
+// architecturally and energetically identical.
 func (c *Core) Run(p *isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("cpu: %w", err)
@@ -140,272 +129,30 @@ func (c *Core) Run(p *isa.Program) error {
 	// invariant that Regs[0] stays zero (writes are guarded).
 	c.Regs[isa.R0] = 0
 	if c.Hook == nil {
-		return c.runFast(p, max)
+		env := exec.Env{
+			Model:       c.Model,
+			Hier:        c.Hier,
+			Mem:         c.Mem,
+			Regs:        &c.Regs,
+			Acct:        &c.Acct,
+			MaxInstrs:   max,
+			ChargeFetch: c.ChargeFetch,
+			Classic:     true,
+			StoreHook:   c.StoreHook,
+			Trace:       c.Trace,
+		}
+		err := exec.Run(&env, p)
+		c.PC = env.PC
+		c.Engine = env.Engine
+		return err
 	}
 	return c.runHooked(p, max)
 }
 
-// runFast is the Hook-free interpreter loop over the decoded program.
-//
-// Beyond decoded dispatch it applies three mechanical optimisations, none of
-// which may change observable results:
-//
-//   - every energy.Account field is accumulated in a local and flushed once
-//     at exit — the additions happen in exactly the order the Account
-//     methods would perform them, so the floating-point totals stay
-//     bit-identical, but the loop body carries no stores to shared memory
-//     the compiler must assume aliased;
-//   - the decoded arrays are re-sliced to a common length so the single
-//     pc-bounds test at the loop head eliminates all per-array checks;
-//   - register indices are masked with &31 (a no-op for validated programs,
-//     where Reg < 32) to eliminate bounds checks on the register file, and
-//     the hottest integer ALU ops are evaluated inline, falling back to
-//     isa.EvalComputeOp for the long tail.
-func (c *Core) runFast(p *isa.Program, max uint64) error {
-	d := p.Decoded()
-	n := d.Len()
-	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
-	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
-	hier, l1, memory := c.Hier, c.Hier.L1, c.Mem
-	acct := &c.Acct
-	regs := &c.Regs
-	ct := BuildCharges(c.Model)
-	fetchE, fetchT := c.Model.FetchEnergy, c.Model.FetchLatency
-	wbL2, wbMem := c.Model.WriteEnergy[energy.L2], c.Model.WriteEnergy[energy.Mem]
-	cycle := ct.Cycle
-	charge := c.ChargeFetch
-	// Flat windows held in locals, forming a two-entry data micro-TLB: the
-	// primary arena plus the region that serviced the most recent slow-path
-	// access. Both are re-fetched after any store that misses them (growth
-	// may reallocate a backing array); since every region growth routes
-	// through that slow path, a window can never go stale while live here.
-	arenaBase, arena := memory.ArenaView()
-	var w2base uint64
-	var w2 []uint64
-
-	// Local accumulators; flushed at the single exit point below.
-	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
-	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
-	byCat := acct.ByCategory
-
-	var rerr error
-	pc := 0
-loop:
-	for {
-		if uint(pc) >= uint(n) {
-			rerr = fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", pc, p.Name, n)
-			break loop
-		}
-		if instrs >= max {
-			rerr = fmt.Errorf("%w (%d)", ErrInstrBudget, max)
-			break loop
-		}
-		if charge {
-			energyNJ += fetchE
-			fetchNJ += fetchE
-			timeNS += fetchT
-		}
-		switch kinds[pc] {
-		case isa.KindCompute:
-			op := ops[pc]
-			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
-			var v uint64
-			switch op {
-			case isa.ADD:
-				v = a + b
-			case isa.ADDI:
-				v = a + uint64(imms[pc])
-			case isa.LI:
-				v = uint64(imms[pc])
-			case isa.MOV:
-				v = a
-			case isa.SUB:
-				v = a - b
-			case isa.MUL:
-				v = a * b
-			case isa.AND:
-				v = a & b
-			case isa.OR:
-				v = a | b
-			case isa.XOR:
-				v = a ^ b
-			case isa.SHL:
-				v = a << (b & 63)
-			case isa.SHR:
-				v = a >> (b & 63)
-			case isa.SLT:
-				if int64(a) < int64(b) {
-					v = 1
-				}
-			case isa.SEQ:
-				if a == b {
-					v = 1
-				}
-			default:
-				v = isa.EvalComputeOp(op, imms[pc], a, b, regs[dsts[pc]&31])
-			}
-			if dst := dsts[pc] & 31; dst != 0 {
-				regs[dst] = v
-			}
-			cat := cats[pc]
-			e := ct.EPI[cat]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[cat]++
-			pc++
-		case isa.KindLoad:
-			addr := regs[src1s[pc]&31] + uint64(imms[pc])
-			if addr&7 != 0 {
-				rerr = fmt.Errorf("cpu: pc %d (%s): load: %w", pc, p.Code[pc], mem.CheckAligned(addr))
-				break loop
-			}
-			var level energy.Level
-			if l1.ProbeHit(addr, false) {
-				hier.Serviced[energy.L1]++
-				level = energy.L1
-			} else {
-				res := hier.AccessMiss(addr, false)
-				for i := 0; i < res.WritebackL2; i++ {
-					energyNJ += wbL2
-					storeNJ += wbL2
-				}
-				for i := 0; i < res.WritebackMem; i++ {
-					energyNJ += wbMem
-					storeNJ += wbMem
-				}
-				level = res.Level
-			}
-			e := ct.LoadTot[level]
-			energyNJ += e
-			loadNJ += e
-			timeNS += ct.LoadLat[level]
-			instrs++
-			loadCnt++
-			byCat[isa.CatLoad]++
-			var v uint64
-			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
-				v = arena[off]
-			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
-				v = w2[off]
-			} else {
-				v = memory.Load(addr)
-				w2base, w2, _ = memory.WindowFor(addr)
-			}
-			if dst := dsts[pc] & 31; dst != 0 {
-				regs[dst] = v
-			}
-			pc++
-		case isa.KindStore:
-			addr := regs[src1s[pc]&31] + uint64(imms[pc])
-			if addr&7 != 0 {
-				rerr = fmt.Errorf("cpu: pc %d (%s): store: %w", pc, p.Code[pc], mem.CheckAligned(addr))
-				break loop
-			}
-			var level energy.Level
-			if l1.ProbeHit(addr, true) {
-				hier.Serviced[energy.L1]++
-				level = energy.L1
-			} else {
-				res := hier.AccessMiss(addr, true)
-				for i := 0; i < res.WritebackL2; i++ {
-					energyNJ += wbL2
-					storeNJ += wbL2
-				}
-				for i := 0; i < res.WritebackMem; i++ {
-					energyNJ += wbMem
-					storeNJ += wbMem
-				}
-				level = res.Level
-			}
-			e := ct.StoreTot[level]
-			energyNJ += e
-			storeNJ += e
-			timeNS += ct.StoreLat
-			instrs++
-			storeCnt++
-			byCat[isa.CatStore]++
-			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
-				arena[off] = regs[src2s[pc]&31]
-			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
-				w2[off] = regs[src2s[pc]&31]
-			} else {
-				memory.Store(addr, regs[src2s[pc]&31])
-				arenaBase, arena = memory.ArenaView()
-				w2base, w2, _ = memory.WindowFor(addr)
-			}
-			pc++
-		case isa.KindCondBr:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
-			var taken bool
-			switch ops[pc] {
-			case isa.BEQ:
-				taken = a == b
-			case isa.BNE:
-				taken = a != b
-			case isa.BLT:
-				taken = int64(a) < int64(b)
-			default: // BGE: KindCondBr decodes exactly four opcodes
-				taken = int64(a) >= int64(b)
-			}
-			if taken {
-				pc = int(targets[pc])
-			} else {
-				pc++
-			}
-		case isa.KindJmp:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			pc = int(targets[pc])
-		case isa.KindNop:
-			e := ct.EPI[isa.CatNop]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatNop]++
-			pc++
-		case isa.KindHalt:
-			e := ct.EPI[isa.CatBranch]
-			energyNJ += e
-			nonMemNJ += e
-			timeNS += cycle
-			instrs++
-			byCat[isa.CatBranch]++
-			break loop
-		case isa.KindRcmp, isa.KindRtn, isa.KindRec:
-			rerr = fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, p.Code[pc], ops[pc])
-			break loop
-		default:
-			rerr = fmt.Errorf("cpu: pc %d (%s): unimplemented opcode %s", pc, p.Code[pc], ops[pc])
-			break loop
-		}
-	}
-
-	c.PC = pc
-	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
-	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-	acct.ByCategory = byCat
-	return rerr
-}
-
 // runHooked is the profiling interpreter loop: identical architectural and
-// energy behaviour to runFast, plus operand snapshots and one Event —
-// reused across steps — delivered to the Hook per retired instruction
-// (HALT excepted, matching the historical contract).
+// energy behaviour to the shared core, plus operand snapshots and one
+// Event — reused across steps — delivered to the Hook per retired
+// instruction (HALT excepted, matching the historical contract).
 func (c *Core) runHooked(p *isa.Program, max uint64) error {
 	d := p.Decoded()
 	code := p.Code
@@ -419,6 +166,7 @@ func (c *Core) runHooked(p *isa.Program, max uint64) error {
 	fetchE, fetchT := c.Model.FetchEnergy, c.Model.FetchLatency
 	charge := c.ChargeFetch
 	hook := c.Hook
+	storeHook := c.StoreHook
 
 	var ev Event
 	pc := 0
@@ -508,6 +256,9 @@ func (c *Core) runHooked(p *isa.Program, max uint64) error {
 			acct.ByCategory[isa.CatStore]++
 			v := srcs[1]
 			memory.Store(addr, v)
+			if storeHook != nil {
+				storeHook(addr, v)
+			}
 			ev = Event{PC: pc, In: code[pc], Addr: addr, Value: v, Level: level, SrcVals: srcs}
 			hook(&ev)
 			pc++

@@ -37,6 +37,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/mem"
 	"github.com/amnesiac-sim/amnesiac/internal/policy"
 	"github.com/amnesiac-sim/amnesiac/internal/profile"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 	"github.com/amnesiac-sim/amnesiac/internal/uarch"
 )
 
@@ -59,6 +60,14 @@ type Options struct {
 	TamperRTN uint64
 	// Shrink minimizes failing programs before reporting (CheckSeed only).
 	Shrink bool
+	// TraceForce additionally runs every amnesic policy with trace reuse
+	// forced on (threshold 1, so every loop records on its first back-edge)
+	// and demands the traced run match the untraced one bit-for-bit:
+	// registers, memory, store stream, and the full energy account. The
+	// classic core gets the equivalent traced-vs-interpreted check on every
+	// Check call regardless of this flag (it is cheap); TraceForce roughly
+	// doubles amnesic work, so the stress job opts in via -difftest.trace.
+	TraceForce bool
 }
 
 // DefaultOptions returns the configuration the test suite and CI use.
@@ -182,6 +191,30 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 		return diverge("classic energy account", "%v", err)
 	}
 
+	// Classic with trace reuse forced on (threshold 1: every loop records on
+	// its first back-edge and replays from the second). Replay must be
+	// indistinguishable from interpretation: same final registers, memory,
+	// store stream, and — because replay charges every instruction in the
+	// interpreter's exact order — an energy account equal bit-for-bit to the
+	// hooked run's.
+	traced := cpu.New(opts.Model, mem.NewDefaultHierarchy(), initial.Clone())
+	traced.MaxInstrs = opts.MaxInstrs
+	traced.Trace = trace.Config{Enable: true, Threshold: 1}
+	var tracedStores []StoreEvent
+	traced.StoreHook = func(addr, val uint64) {
+		tracedStores = append(tracedStores, StoreEvent{addr, val})
+	}
+	if err := traced.Run(prog); err != nil {
+		return diverge("classic traced", "interpreted run halted but traced run failed: %v", err)
+	}
+	if d := compareState("classic traced", "flat-memory replay", ref, traced.Regs, traced.Mem, tracedStores, prog, initial); d != nil {
+		return d
+	}
+	if traced.Acct != core.Acct {
+		return diverge("classic traced", "traced energy account differs from interpreted: %s",
+			accountDiff(&traced.Acct, &core.Acct))
+	}
+
 	prof, err := profile.Collect(opts.Model, prog, initial)
 	if err != nil {
 		return diverge("profile", "profiling a program the reference executed cleanly failed: %v", err)
@@ -222,8 +255,75 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 			return diverge("policy "+label, "RCMP accounting: %d total != %d recomputed + %d loaded",
 				st.RcmpTotal, st.RcmpRecomputed, st.RcmpLoaded)
 		}
+		if !opts.TraceForce {
+			continue
+		}
+		// Same policy with trace reuse forced on: the traced machine must be
+		// bit-identical to the untraced one in architectural state, store
+		// stream, energy account, and the amnesic runtime counters.
+		tm, err := amnesic.New(opts.Model, bin, initial.Clone(), policy.New(kind), opts.Uarch)
+		if err != nil {
+			return diverge("policy "+label+" traced", "machine construction failed: %v", err)
+		}
+		tm.MaxInstrs = opts.MaxInstrs
+		tm.TamperRTN = opts.TamperRTN
+		tm.Trace = trace.Config{Enable: true, Threshold: 1}
+		var tracedStores []StoreEvent
+		tm.StoreHook = func(addr, val uint64) {
+			tracedStores = append(tracedStores, StoreEvent{addr, val})
+		}
+		if err := tm.Run(); err != nil {
+			return diverge("policy "+label+" traced", "untraced run succeeded but traced run failed: %v", err)
+		}
+		if d := compareState("policy "+label+" traced", "classic baseline", ref, tm.Regs, tm.Mem, tracedStores, prog, initial); d != nil {
+			return d
+		}
+		if len(tracedStores) != len(stores) {
+			return diverge("policy "+label+" traced", "store stream has %d events, untraced has %d",
+				len(tracedStores), len(stores))
+		}
+		if tm.Acct != m.Acct {
+			return diverge("policy "+label+" traced", "traced energy account differs from untraced: %s",
+				accountDiff(&tm.Acct, &m.Acct))
+		}
+		if tm.Stat.RcmpTotal != m.Stat.RcmpTotal || tm.Stat.RcmpRecomputed != m.Stat.RcmpRecomputed ||
+			tm.Stat.RecExecuted != m.Stat.RecExecuted || tm.Stat.NOPsSkipped != m.Stat.NOPsSkipped {
+			return diverge("policy "+label+" traced",
+				"runtime counters diverge: rcmp %d/%d recomputed %d/%d rec %d/%d nops %d/%d (traced/untraced)",
+				tm.Stat.RcmpTotal, m.Stat.RcmpTotal, tm.Stat.RcmpRecomputed, m.Stat.RcmpRecomputed,
+				tm.Stat.RecExecuted, m.Stat.RecExecuted, tm.Stat.NOPsSkipped, m.Stat.NOPsSkipped)
+		}
 	}
 	return nil
+}
+
+// accountDiff names the first differing energy.Account field, for traced-vs-
+// interpreted divergence reports (the accounts are expected bit-identical,
+// so any difference is a replay accounting bug).
+func accountDiff(got, want *energy.Account) string {
+	switch {
+	case got.EnergyNJ != want.EnergyNJ:
+		return fmt.Sprintf("EnergyNJ %.17g != %.17g", got.EnergyNJ, want.EnergyNJ)
+	case got.TimeNS != want.TimeNS:
+		return fmt.Sprintf("TimeNS %.17g != %.17g", got.TimeNS, want.TimeNS)
+	case got.LoadNJ != want.LoadNJ:
+		return fmt.Sprintf("LoadNJ %.17g != %.17g", got.LoadNJ, want.LoadNJ)
+	case got.StoreNJ != want.StoreNJ:
+		return fmt.Sprintf("StoreNJ %.17g != %.17g", got.StoreNJ, want.StoreNJ)
+	case got.NonMemNJ != want.NonMemNJ:
+		return fmt.Sprintf("NonMemNJ %.17g != %.17g", got.NonMemNJ, want.NonMemNJ)
+	case got.FetchNJ != want.FetchNJ:
+		return fmt.Sprintf("FetchNJ %.17g != %.17g", got.FetchNJ, want.FetchNJ)
+	case got.Instrs != want.Instrs:
+		return fmt.Sprintf("Instrs %d != %d", got.Instrs, want.Instrs)
+	case got.Loads != want.Loads:
+		return fmt.Sprintf("Loads %d != %d", got.Loads, want.Loads)
+	case got.Stores != want.Stores:
+		return fmt.Sprintf("Stores %d != %d", got.Stores, want.Stores)
+	case got.ByCategory != want.ByCategory:
+		return fmt.Sprintf("ByCategory %v != %v", got.ByCategory, want.ByCategory)
+	}
+	return "accounts differ in a field accountDiff does not name"
 }
 
 // policyBinary maps a policy label to the binary it executes and its

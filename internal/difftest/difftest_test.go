@@ -17,6 +17,8 @@ var (
 		"replay one generator seed through the differential oracle (from a Divergence report)")
 	seedCount = flag.Int("difftest.n", 500,
 		"number of generator seeds TestDiffOracle checks")
+	traceFlag = flag.Bool("difftest.trace", false,
+		"force trace reuse on (threshold 1) for the amnesic policies too, asserting traced == untraced bit-for-bit")
 )
 
 // TestDiffOracle is the main oracle sweep: N seeded random programs, each
@@ -26,6 +28,7 @@ var (
 // reported seed instead.
 func TestDiffOracle(t *testing.T) {
 	opts := DefaultOptions()
+	opts.TraceForce = *traceFlag
 	if *seedFlag >= 0 {
 		if err := CheckSeed(*seedFlag, opts); err != nil {
 			t.Fatalf("seed %d: %v", *seedFlag, err)

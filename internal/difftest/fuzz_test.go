@@ -17,6 +17,11 @@ func FuzzDiffExec(f *testing.F) {
 	f.Add(int64(1 << 40))
 	opts := DefaultOptions()
 	opts.Shrink = false // keep per-input cost flat; replay + shrink by seed offline
+	// Fuzz with tracing forced on everywhere: the classic traced stage runs
+	// unconditionally, and TraceForce adds the traced amnesic policies, so
+	// the corpus stresses recording, fusion, guards and side-exits against
+	// the untraced machines on every input.
+	opts.TraceForce = true
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckSeed(seed, opts); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

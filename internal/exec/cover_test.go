@@ -1,0 +1,53 @@
+package exec_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/cpu"
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// TestTraceCoverage reports, per responsive workload, how much of the
+// dynamic instruction stream executes under trace replay. Run with -v for
+// the table; the assertion only guards against the engine silently dying
+// (zero replays across the whole suite).
+func TestTraceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage survey")
+	}
+	model := energy.Default()
+	totalReplays := uint64(0)
+	for _, w := range workloads.Responsive() {
+		prog, initial := w.Build(0.05)
+		core := cpu.New(model, mem.NewDefaultHierarchy(), initial.Clone())
+		if err := core.Run(prog); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		eng := core.Engine
+		if eng == nil {
+			t.Fatalf("%s: tracing disabled by default", w.Name)
+		}
+		var traced, tombs int
+		var traceInstr uint64
+		for _, tr := range eng.Traces {
+			if tr == nil {
+				continue
+			}
+			if tr.Ops == nil {
+				tombs++
+			} else {
+				traced++
+				traceInstr += tr.NInstr
+			}
+		}
+		t.Logf("%-4s instrs=%9d built=%3d blacklisted=%3d replays=%9d cover=%5.1f%%",
+			w.Name, core.Acct.Instrs, eng.Built, eng.Blacklisted, eng.Replays,
+			100*float64(eng.ReplayedInstrs)/float64(core.Acct.Instrs))
+		totalReplays += eng.Replays
+	}
+	if totalReplays == 0 {
+		t.Fatal("no trace was ever replayed across the responsive suite")
+	}
+}

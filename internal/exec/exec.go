@@ -1,0 +1,597 @@
+// Package exec implements the shared decoded-dispatch execution core used
+// by the classic core (cpu.Core, hook-free path) and the amnesic machine's
+// fast path. Both loops previously hand-copied the same idiom — pre-decoded
+// struct-of-arrays dispatch, re-sliced arrays for a single bounds check,
+// masked register indices, an inline hot-ALU switch, a two-entry flat-window
+// data micro-TLB, and local energy accumulators flushed at exit — so trace
+// support would have had to land twice. It now lands once, here.
+//
+// The core also hosts the trace-reuse engine (internal/trace): hot loop
+// heads are detected on taken backward branches, recorded into superblocks,
+// fused, and replayed as dense loop bodies with one guard per recorded
+// conditional branch. Replay is bit-identical to interpretation: every
+// original instruction keeps its own fetch/energy/latency charge in the
+// interpreter's exact accumulation order (floating-point addition is not
+// associative, so charges are never combined), and every memory access
+// still probes the cache hierarchy so its state evolves unchanged.
+//
+// The profiler's fused interpreter (internal/profile) and the difftest flat
+// reference deliberately do NOT consume this core: the profiler interleaves
+// shadow dependence tracking that has no energy model and would only slow
+// this loop down, and the reference must stay an independent implementation
+// for the differential oracle to be able to catch bugs here (an oracle that
+// shares its subject's dispatch loop can only agree with it). See DESIGN.md.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
+)
+
+// DefaultMaxInstrs bounds dynamic instruction count to guard against
+// non-terminating programs. cpu.DefaultMaxInstrs aliases it.
+const DefaultMaxInstrs = 200_000_000
+
+// ErrInstrBudget is returned when execution exceeds Env.MaxInstrs. The text
+// keeps the historical "cpu:" prefix; cpu.ErrInstrBudget aliases this exact
+// value so errors.Is keeps working across both packages.
+var ErrInstrBudget = errors.New("cpu: dynamic instruction budget exceeded")
+
+// ChargeTable holds per-run precomputed energy charges for inlined
+// accounting: per-category instruction energies and combined
+// (issue + hierarchy) load/store energies per serviced level. The values
+// are computed by the same Model methods the Account helpers call, so
+// accumulating them yields bit-identical floating-point totals.
+type ChargeTable struct {
+	EPI      [isa.NumCategories]float64
+	LoadTot  [energy.NumLevels]float64
+	StoreTot [energy.NumLevels]float64
+	LoadLat  [energy.NumLevels]float64
+	StoreLat float64
+	Cycle    float64
+}
+
+// BuildCharges derives the charge table from a read-only model.
+func BuildCharges(m *energy.Model) ChargeTable {
+	var t ChargeTable
+	for cat := range t.EPI {
+		t.EPI[cat] = m.InstrEnergy(isa.Category(cat))
+	}
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		t.LoadTot[l] = m.InstrEnergy(isa.CatLoad) + m.LoadEnergy(l)
+		t.StoreTot[l] = m.InstrEnergy(isa.CatStore) + m.StoreEnergy(l)
+		t.LoadLat[l] = m.LoadLatency(l)
+	}
+	t.StoreLat = m.Latency[energy.L1]
+	t.Cycle = m.CycleNS()
+	return t
+}
+
+// Aux handles the amnesic opcodes the shared loop cannot execute inline.
+// The loop flushes its local accumulators into Env.Acct before each call
+// and reloads them after, since handlers account through the Account
+// directly. A nil Aux (the classic core) turns the amnesic kinds into the
+// classic "amnesic opcode on classic core" error.
+type Aux interface {
+	// ExecRec executes a REC at pc (checkpointing; cannot fail).
+	ExecRec(pc int)
+	// ExecRcmp executes an RCMP at pc. A non-nil error (already wrapped in
+	// the owner's "amnesic: pc ..." form) aborts the run.
+	ExecRcmp(pc int) error
+	// StrayRtn builds the error for an RTN reached by straight-line fetch.
+	StrayRtn(pc int) error
+}
+
+// Env is one execution's parameter block. Run reads the configuration
+// fields and writes PC (final program counter) and Engine (the trace engine
+// used, nil when tracing is off) back.
+type Env struct {
+	Model *energy.Model
+	Hier  *mem.Hierarchy
+	Mem   *mem.Memory
+	Regs  *[isa.NumRegs]uint64
+	Acct  *energy.Account
+
+	// MaxInstrs bounds the run; 0 means DefaultMaxInstrs.
+	MaxInstrs uint64
+	// ChargeFetch adds per-instruction L1-I fetch energy when true.
+	ChargeFetch bool
+	// Classic selects the classic core's error texts and rejects the
+	// amnesic kinds; when false the amnesic texts are used and Aux handles
+	// them.
+	Classic bool
+	// Aux executes REC/RCMP/RTN (amnesic machine only; nil for classic).
+	Aux Aux
+	// StoreHook, if non-nil, observes every architectural store in
+	// retirement order.
+	StoreHook func(addr, val uint64)
+	// ElimNOP marks eliminated-store NOPs (amnesic); NopSkips counts the
+	// ones executed. Both nil for classic.
+	ElimNOP  []bool
+	NopSkips *uint64
+
+	// Trace configures the trace-reuse engine.
+	Trace trace.Config
+
+	// PC is the final program counter (out).
+	PC int
+	// Engine is the trace engine the run used, for statistics and tests
+	// (out; nil when tracing is disabled).
+	Engine *trace.Engine
+}
+
+// prefix returns the error-text prefix for this environment.
+func (env *Env) prefix() string {
+	if env.Classic {
+		return "cpu"
+	}
+	return "amnesic"
+}
+
+// Run executes p from PC 0 until HALT, an error, or budget exhaustion.
+// The caller has validated p and zeroed Regs[R0]; the loop reads registers
+// unmasked relying on that invariant (R0 writes are guarded).
+func Run(env *Env, p *isa.Program) error {
+	d := p.Decoded()
+	code := p.Code
+	n := d.Len()
+	max := env.MaxInstrs
+	if max == 0 {
+		max = DefaultMaxInstrs
+	}
+	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
+	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
+	hier, l1, memory := env.Hier, env.Hier.L1, env.Mem
+	acct := env.Acct
+	regs := env.Regs
+	ct := BuildCharges(env.Model)
+	fetchE, fetchT := env.Model.FetchEnergy, env.Model.FetchLatency
+	wbL2, wbMem := env.Model.WriteEnergy[energy.L2], env.Model.WriteEnergy[energy.Mem]
+	cycle := ct.Cycle
+	charge := env.ChargeFetch
+
+	// Trace engine construction. All engine state lives in the rsh block
+	// below, NOT in loop locals: every extra value live across the 11-way
+	// dispatch switch costs register spills in the hot cases (measured ~20%
+	// on the pure interpreter), so the loop keeps exactly one word of trace
+	// state — the `slow` mode flag — and the cold trace paths reload the
+	// rest from the stack-resident parameter block.
+	var eng *trace.Engine
+	if env.Trace.Enable {
+		eng = trace.NewEngine(env.Trace, n)
+		env.Engine = eng
+	}
+
+	// Flat windows held in locals, forming a two-entry data micro-TLB: the
+	// primary arena plus the region that serviced the most recent slow-path
+	// access. Both are re-fetched after any store that misses them (growth
+	// may reallocate a backing array); since every region growth routes
+	// through that slow path, a window can never go stale while live here.
+	// The amnesic REC/RCMP handlers never store to memory, so the windows
+	// survive handler calls too.
+	arenaBase, arena := memory.ArenaView()
+	var w2base uint64
+	var w2 []uint64
+
+	// Local accumulators; flushed at the exit point below and around Aux
+	// handler calls. The additions happen in exactly the order the Account
+	// methods would perform them, so the floating-point totals stay
+	// bit-identical, but the loop body carries no stores to shared memory
+	// the compiler must assume aliased.
+	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
+	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
+	byCat := acct.ByCategory
+
+	// Parameter block for replayTrace and home of all mutable trace-engine
+	// state (see replay.go). rsh is address-taken, so its fields live on the
+	// stack and never compete with the interpreter's hot locals for
+	// registers; the only trace state the loop itself carries is `slow`.
+	rsh := replayShared{
+		ct: &ct, l1: l1, hier: hier, memory: memory,
+		regs: regs, byCat: &byCat, nopSkips: env.NopSkips, storeHook: env.StoreHook,
+		code: code, pfx: env.prefix(), max: max,
+		eng: eng, recHead: -1,
+		fetchE: fetchE, fetchT: fetchT, wbL2: wbL2, wbMem: wbMem, cycle: cycle,
+		charge: charge,
+	}
+	if eng != nil {
+		rsh.counts, rsh.traces = eng.Counts, eng.Traces
+		rsh.threshold, rsh.maxOps = eng.Cfg.Threshold, eng.Cfg.MaxOps
+	}
+
+	// slow selects the loop-top slow path: 0 is plain interpretation,
+	// slowReplay means rsh.curTr is pending replay at the current pc, and
+	// slowRecord means a superblock is recording from rsh.recHead. The two
+	// are mutually exclusive, so one register-resident word covers both.
+	const (
+		slowReplay = 1
+		slowRecord = 2
+	)
+	slow := 0
+
+	var rerr error
+	pc := 0
+loop:
+	for {
+		if uint(pc) >= uint(n) {
+			if env.Classic {
+				rerr = fmt.Errorf("cpu: pc %d out of range (program %q, %d instrs)", pc, p.Name, n)
+			} else {
+				rerr = fmt.Errorf("amnesic: pc %d out of range (%q)", pc, p.Name)
+			}
+			break loop
+		}
+		if instrs >= max {
+			rerr = fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+			break loop
+		}
+		if slow != 0 {
+			if slow == slowReplay {
+				// ---- Trace replay ---------------------------------------
+				// replayTrace runs the superblock as a dense loop body until
+				// a guard side-exits, a replayed access faults, or the
+				// budget check says the next iteration might not fit (the
+				// interpreter below then errors at precisely the instruction
+				// the budget rule dictates). The hot accumulators round-trip
+				// by value — nothing is added at the boundary — so totals
+				// stay bit-identical; see replay.go for why it is its own
+				// function.
+				tr := rsh.curTr
+				rsh.curTr = nil
+				slow = 0
+				replayFrom := instrs
+				ac := acctState{
+					energyNJ: energyNJ, timeNS: timeNS,
+					loadNJ: loadNJ, storeNJ: storeNJ, nonMemNJ: nonMemNJ, fetchNJ: fetchNJ,
+					instrs: instrs, loads: loadCnt, stores: storeCnt,
+				}
+				mw := memWin{arenaBase: arenaBase, arena: arena, w2base: w2base, w2: w2}
+				ac, mw, pc, rerr = replayTrace(&rsh, tr, ac, mw)
+				energyNJ, timeNS = ac.energyNJ, ac.timeNS
+				loadNJ, storeNJ, nonMemNJ, fetchNJ = ac.loadNJ, ac.storeNJ, ac.nonMemNJ, ac.fetchNJ
+				instrs, loadCnt, storeCnt = ac.instrs, ac.loads, ac.stores
+				arenaBase, arena = mw.arenaBase, mw.arena
+				w2base, w2 = mw.w2base, mw.w2
+				eng.ReplayedInstrs += instrs - replayFrom
+				if rerr != nil {
+					break loop
+				}
+				// A side-exit target that crossed the threshold (replayTrace
+				// bumps counts on unchained exits) becomes a lateral trace
+				// head: record from here until execution arrives back here,
+				// whatever control flow the path takes. Chained guards then
+				// jump straight from trace to trace without interpreting the
+				// cold tail in between.
+				if uint(pc) < uint(n) && rsh.traces[pc] == nil && rsh.counts[pc] >= rsh.threshold {
+					rsh.counts[pc] = 0
+					rsh.recHead = pc
+					slow = slowRecord
+					if rsh.recPath == nil {
+						rsh.recPath = make([]int32, 0, rsh.maxOps)
+					}
+				}
+				continue loop
+			}
+			// ---- Superblock recording -------------------------------
+			// Arriving back at the head — via the closing back-edge or,
+			// for a lateral head, any control transfer — completes the
+			// superblock; instructions replay cannot reproduce and
+			// over-long paths (e.g. a nested loop spinning inside the
+			// recording) blacklist the head instead.
+			if pc == rsh.recHead && len(rsh.recPath) > 0 {
+				nt := buildTrace(d, rsh.recPath, env.ElimNOP, &ct)
+				rsh.traces[pc] = nt
+				eng.Built++
+				eng.Replays++
+				rsh.recHead = -1
+				rsh.recPath = rsh.recPath[:0]
+				rsh.curTr = nt
+				slow = slowReplay
+				continue loop
+			}
+			if !trace.Recordable(kinds[pc]) || len(rsh.recPath) >= rsh.maxOps {
+				eng.Blacklist(rsh.recHead)
+				rsh.recHead = -1
+				rsh.recPath = rsh.recPath[:0]
+				slow = 0
+			} else {
+				rsh.recPath = append(rsh.recPath, int32(pc))
+			}
+		}
+		if charge {
+			energyNJ += fetchE
+			fetchNJ += fetchE
+			timeNS += fetchT
+		}
+		switch kinds[pc] {
+		case isa.KindCompute:
+			op := ops[pc]
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var v uint64
+			switch op {
+			case isa.ADD:
+				v = a + b
+			case isa.ADDI:
+				v = a + uint64(imms[pc])
+			case isa.LI:
+				v = uint64(imms[pc])
+			case isa.MOV:
+				v = a
+			case isa.SUB:
+				v = a - b
+			case isa.MUL:
+				v = a * b
+			case isa.AND:
+				v = a & b
+			case isa.OR:
+				v = a | b
+			case isa.XOR:
+				v = a ^ b
+			case isa.SHL:
+				v = a << (b & 63)
+			case isa.SHR:
+				v = a >> (b & 63)
+			case isa.SLT:
+				if int64(a) < int64(b) {
+					v = 1
+				}
+			case isa.SEQ:
+				if a == b {
+					v = 1
+				}
+			default:
+				v = isa.EvalComputeOp(op, imms[pc], a, b, regs[dsts[pc]&31])
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
+				regs[dst] = v
+			}
+			cat := cats[pc]
+			e := ct.EPI[cat]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[cat]++
+			pc++
+		case isa.KindLoad:
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
+			if addr&7 != 0 {
+				rerr = fmt.Errorf("%s: pc %d (%s): load: %w", rsh.pfx, pc, code[pc], mem.CheckAligned(addr))
+				break loop
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, false) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, false)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
+				level = res.Level
+			}
+			e := ct.LoadTot[level]
+			energyNJ += e
+			loadNJ += e
+			timeNS += ct.LoadLat[level]
+			instrs++
+			loadCnt++
+			byCat[isa.CatLoad]++
+			var v uint64
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				v = arena[off]
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				v = w2[off]
+			} else {
+				v = memory.Load(addr)
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
+			if dst := dsts[pc] & 31; dst != 0 {
+				regs[dst] = v
+			}
+			pc++
+		case isa.KindStore:
+			addr := regs[src1s[pc]&31] + uint64(imms[pc])
+			if addr&7 != 0 {
+				rerr = fmt.Errorf("%s: pc %d (%s): store: %w", rsh.pfx, pc, code[pc], mem.CheckAligned(addr))
+				break loop
+			}
+			var level energy.Level
+			if l1.ProbeHit(addr, true) {
+				hier.Serviced[energy.L1]++
+				level = energy.L1
+			} else {
+				res := hier.AccessMiss(addr, true)
+				for i := 0; i < res.WritebackL2; i++ {
+					energyNJ += wbL2
+					storeNJ += wbL2
+				}
+				for i := 0; i < res.WritebackMem; i++ {
+					energyNJ += wbMem
+					storeNJ += wbMem
+				}
+				level = res.Level
+			}
+			e := ct.StoreTot[level]
+			energyNJ += e
+			storeNJ += e
+			timeNS += ct.StoreLat
+			instrs++
+			storeCnt++
+			byCat[isa.CatStore]++
+			v := regs[src2s[pc]&31]
+			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+				arena[off] = v
+			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+				w2[off] = v
+			} else {
+				memory.Store(addr, v)
+				arenaBase, arena = memory.ArenaView()
+				w2base, w2, _ = memory.WindowFor(addr)
+			}
+			if rsh.storeHook != nil {
+				rsh.storeHook(addr, v)
+			}
+			pc++
+		case isa.KindCondBr:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			a, b := regs[src1s[pc]&31], regs[src2s[pc]&31]
+			var taken bool
+			switch ops[pc] {
+			case isa.BEQ:
+				taken = a == b
+			case isa.BNE:
+				taken = a != b
+			case isa.BLT:
+				taken = int64(a) < int64(b)
+			default: // BGE: KindCondBr decodes exactly four opcodes
+				taken = int64(a) >= int64(b)
+			}
+			if taken {
+				t := int(targets[pc])
+				if t <= pc && slow == 0 && rsh.eng != nil {
+					// Taken back-edge: enter a trace or advance the head's
+					// hotness counter. While recording, back-edges are just
+					// path entries — closure happens when execution arrives
+					// back at the recording head (see the loop top).
+					if tr := rsh.traces[t]; tr != nil {
+						if tr.Ops != nil {
+							rsh.eng.Replays++
+							rsh.curTr = tr
+							slow = slowReplay
+						}
+					} else {
+						rsh.counts[t]++
+						if rsh.counts[t] >= rsh.threshold {
+							rsh.counts[t] = 0
+							rsh.recHead = t
+							slow = slowRecord
+							if rsh.recPath == nil {
+								rsh.recPath = make([]int32, 0, rsh.maxOps)
+							}
+						}
+					}
+				}
+				pc = t
+			} else {
+				pc++
+			}
+		case isa.KindJmp:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			t := int(targets[pc])
+			if t <= pc && slow == 0 && rsh.eng != nil {
+				if tr := rsh.traces[t]; tr != nil {
+					if tr.Ops != nil {
+						rsh.eng.Replays++
+						rsh.curTr = tr
+						slow = slowReplay
+					}
+				} else {
+					rsh.counts[t]++
+					if rsh.counts[t] >= rsh.threshold {
+						rsh.counts[t] = 0
+						rsh.recHead = t
+						slow = slowRecord
+						if rsh.recPath == nil {
+							rsh.recPath = make([]int32, 0, rsh.maxOps)
+						}
+					}
+				}
+			}
+			pc = t
+		case isa.KindNop:
+			e := ct.EPI[isa.CatNop]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatNop]++
+			if elim := env.ElimNOP; elim != nil && elim[pc] {
+				*rsh.nopSkips++
+			}
+			pc++
+		case isa.KindHalt:
+			e := ct.EPI[isa.CatBranch]
+			energyNJ += e
+			nonMemNJ += e
+			timeNS += cycle
+			instrs++
+			byCat[isa.CatBranch]++
+			break loop
+		case isa.KindRec:
+			if env.Aux == nil {
+				rerr = fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, code[pc], ops[pc])
+				break loop
+			}
+			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+			acct.ByCategory = byCat
+			env.Aux.ExecRec(pc)
+			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
+			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
+			byCat = acct.ByCategory
+			pc++
+		case isa.KindRcmp:
+			if env.Aux == nil {
+				rerr = fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, code[pc], ops[pc])
+				break loop
+			}
+			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+			acct.ByCategory = byCat
+			err := env.Aux.ExecRcmp(pc)
+			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
+			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
+			byCat = acct.ByCategory
+			if err != nil {
+				rerr = err
+				break loop
+			}
+			pc++
+		case isa.KindRtn:
+			if env.Aux == nil {
+				rerr = fmt.Errorf("cpu: pc %d (%s): amnesic opcode %s on classic core", pc, code[pc], ops[pc])
+				break loop
+			}
+			// Slice bodies are traversed inline by the RCMP handler; control
+			// never falls into them.
+			rerr = env.Aux.StrayRtn(pc)
+			break loop
+		default:
+			rerr = fmt.Errorf("%s: pc %d (%s): unimplemented opcode %s", rsh.pfx, pc, code[pc], ops[pc])
+			break loop
+		}
+	}
+
+	env.PC = pc
+	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
+	acct.ByCategory = byCat
+	return rerr
+}

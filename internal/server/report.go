@@ -21,10 +21,10 @@ import (
 type Report struct {
 	// Spec is the canonical (Normalize-d) spec with the deadline zeroed —
 	// the report describes the cacheable identity, not one submission.
-	Spec      JobSpec           `json:"spec"`
-	Suite     []WorkloadReport  `json:"suite,omitempty"`
-	BreakEven []BreakEvenRow    `json:"break_even,omitempty"`
-	Difftest  *DifftestReport   `json:"difftest,omitempty"`
+	Spec      JobSpec          `json:"spec"`
+	Suite     []WorkloadReport `json:"suite,omitempty"`
+	BreakEven []BreakEvenRow   `json:"break_even,omitempty"`
+	Difftest  *DifftestReport  `json:"difftest,omitempty"`
 }
 
 // ClassicReport summarizes the classic (non-amnesic) baseline execution.

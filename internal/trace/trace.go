@@ -1,0 +1,384 @@
+// Package trace implements the trace-reuse execution engine: hot back-edge
+// detection, superblock recording over decoded programs, superinstruction
+// fusion of frequent opcode pairs, and the replayable trace representation
+// the shared dispatch core (internal/exec) executes as dense loop bodies.
+//
+// Lifecycle (record → fuse → replay → invalidate):
+//
+//   - record: every taken backward branch bumps a per-PC counter; when a
+//     loop head crosses Config.Threshold the interpreter records the PCs it
+//     retires until the back-edge returns to the head — one complete loop
+//     iteration, the superblock;
+//   - fuse: Build compiles the recorded path into replay ops, collapsing
+//     ALU+branch (compare-and-loop-close), load+ALU, and ALU+store pairs
+//     into single superinstructions with a precomputed operand-forwarding
+//     mask (Op.Fwd) that routes the first op's result straight into the
+//     second op's operands;
+//   - replay: a later arrival at the head executes the trace body with one
+//     guard per recorded conditional branch; a guard that resolves against
+//     the recorded direction side-exits at the other successor. A side
+//     exit whose target owns a trace links straight into it without
+//     returning to the interpreter (LuaJIT-style side traces); one without
+//     a trace bumps the target's hotness counter, so hot exit paths earn
+//     their own lateral traces and chained replay covers loop nests, not
+//     just single loops;
+//   - invalidate: heads whose recording crosses an untraceable instruction
+//     (HALT, the amnesic opcodes) or exceeds Config.MaxOps are blacklisted
+//     with a tombstone and never re-recorded. An outer loop whose body is
+//     too large simply blacklists at MaxOps; recording closes when any
+//     control transfer returns to the head, so multi-back-edge and nested
+//     paths that fit are recorded as-is.
+//
+// Replay preserves bit-identical architectural and energy behaviour: every
+// original instruction keeps its own fetch/energy/latency charge, applied
+// in exactly the interpreter's order (floating-point accumulation is not
+// associative, so charges are never batched or reordered), every memory op
+// still probes the cache hierarchy, and fused pairs still write the first
+// op's destination register architecturally.
+package trace
+
+import "github.com/amnesiac-sim/amnesiac/internal/isa"
+
+// Config controls hot-trace recording. The zero value (Enable false) turns
+// the engine off; DefaultConfig is the production tuning.
+type Config struct {
+	// Enable turns trace recording and replay on.
+	Enable bool
+	// Threshold is the number of taken back-edge arrivals at a loop head
+	// before recording starts; 0 means the default. 1 records on the first
+	// arrival (the difftest stress setting).
+	Threshold uint32
+	// MaxOps bounds a recorded superblock, in original instructions; a
+	// recording that grows past it blacklists the head. 0 means the default.
+	MaxOps int
+}
+
+// DefaultConfig returns the production tuning: record after 32 back-edge
+// arrivals, superblocks up to 512 instructions.
+func DefaultConfig() Config { return Config{Enable: true, Threshold: 32, MaxOps: 512} }
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 32
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 512
+	}
+	return c
+}
+
+// Code is the replay dispatch code of one trace op. Single-op codes mirror
+// the interpreter's inline ALU set; the three C*-pair codes are the fused
+// superinstructions.
+type Code uint8
+
+const (
+	// Specialized single ALU ops (the interpreter's inline set).
+	CAdd Code = iota
+	CAddi
+	CLi
+	CMov
+	CSub
+	CMul
+	CAnd
+	COr
+	CXor
+	CShl
+	CShr
+	CSlt
+	CSeq
+	// CAluGen is the long-tail compute op evaluated via isa.EvalComputeOp.
+	CAluGen
+	// CLoad / CStore / CNop are the remaining straight-line kinds.
+	CLoad
+	CStore
+	CNop
+	// CBrCharge charges a branch whose outcome is statically known on the
+	// recorded path (JMP, or a conditional branch whose target is the
+	// fall-through): no guard is needed.
+	CBrCharge
+	// CGuard charges and re-evaluates a recorded conditional branch; if it
+	// resolves against the recorded direction, replay side-exits to ExitPC.
+	CGuard
+	// Fused superinstructions (two original instructions each).
+	CAluGuard // ALU + conditional branch consuming its result
+	CLoadAlu  // load + ALU consuming the loaded value
+	CAluStore // ALU + store consuming its result (value and/or address base)
+)
+
+// nCodes is the number of replay codes (for tests).
+const nCodes = int(CAluStore) + 1
+
+// Op is one replay operation. Register fields are pre-masked (&31). For
+// fused codes the A-fields (AOp/Dst/Src1/Src2/Imm/Cat/PC) describe the
+// first original instruction and the B-fields (BOp/Dst2/BSrc1/BSrc2/Imm2/
+// Cat2/PC2) the second; Fwd says which of the second op's operands take the
+// first op's result instead of the register file (the intermediate register
+// is still written architecturally, so no liveness analysis is needed).
+type Op struct {
+	Code Code
+	// AOp is the compute opcode for CAluGen and for the ALU half of every
+	// fused code; BOp is the branch opcode of CGuard/CAluGuard.
+	AOp isa.Op
+	BOp isa.Op
+	// First-instruction operands.
+	Dst, Src1, Src2 uint8
+	// Second-instruction operands (fused codes) / guard operands (CGuard).
+	Dst2, BSrc1, BSrc2 uint8
+	// Fwd forwards the first op's result into the second op's operands:
+	// bit 0 = first operand (guard Src1 / ALU Src1 / store address base),
+	// bit 1 = second operand (guard Src2 / ALU Src2 / store value).
+	Fwd uint8
+	// Taken is the recorded direction of CGuard/CAluGuard.
+	Taken bool
+	// Elim marks an eliminated-store NOP (amnesic statistics).
+	Elim bool
+	// Cat / Cat2 are the energy categories of the two sub-instructions.
+	Cat, Cat2 isa.Category
+	// PC / PC2 are the original program counters (fault reporting).
+	PC, PC2 int32
+	// ExitPC is the side-exit continuation when a guard fails: the recorded
+	// branch's other successor.
+	ExitPC int32
+	// Imm / Imm2 are the two sub-instructions' immediates.
+	Imm, Imm2 int64
+	// ENJ / ENJ2 are the per-sub-instruction non-memory energy charges,
+	// precomputed by the executor from its charge table (exec.BuildCharges)
+	// so replay skips the per-op category lookup. Memory halves (CLoad,
+	// CStore, the load half of CLoadAlu, the store half of CAluStore) ignore
+	// them: their charge depends on the serviced cache level at runtime.
+	ENJ, ENJ2 float64
+}
+
+// Trace is one compiled superblock: a complete loop iteration anchored at
+// Head. A Trace with nil Ops is a blacklist tombstone.
+type Trace struct {
+	Head int32
+	Ops  []Op
+	// NInstr is the number of original instructions retired by one complete
+	// iteration (fused ops count as two); the replay loop uses it for a
+	// conservative pre-iteration budget check.
+	NInstr uint64
+}
+
+// Engine holds per-run trace state for one program execution. Each run owns
+// its engine; it is not safe for concurrent use.
+type Engine struct {
+	Cfg Config
+	// Counts is the per-PC hotness counter driving head detection: taken
+	// back-edge arrivals, plus unchained trace side-exits whose target has
+	// no trace yet (lateral-head candidates).
+	Counts []uint32
+	// Traces maps head PC to its built trace; a tombstone (non-nil with
+	// nil Ops) marks a blacklisted head.
+	Traces []*Trace
+	// Built / Blacklisted / Replays are engine statistics: traces compiled,
+	// heads tombstoned, and trace entries (not iterations) replayed,
+	// whether from the interpreter or linked from another trace's side
+	// exit.
+	Built, Blacklisted, Replays uint64
+	// ReplayedInstrs counts original instructions retired under replay —
+	// the engine's dynamic coverage, next to Account.Instrs.
+	ReplayedInstrs uint64
+}
+
+// NewEngine builds an engine for a program of progLen instructions,
+// normalizing zero Config fields to their defaults.
+func NewEngine(cfg Config, progLen int) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		Cfg:    cfg,
+		Counts: make([]uint32, progLen),
+		Traces: make([]*Trace, progLen),
+	}
+}
+
+// Blacklist permanently invalidates head as a trace anchor.
+func (e *Engine) Blacklist(head int) {
+	e.Traces[head] = &Trace{Head: int32(head)}
+	e.Blacklisted++
+}
+
+// Invalidate drops head's trace or tombstone so it can be re-counted and
+// re-recorded from scratch.
+func (e *Engine) Invalidate(head int) {
+	e.Traces[head] = nil
+	e.Counts[head] = 0
+}
+
+// Recordable reports whether an instruction kind may appear on a recorded
+// path. HALT, the amnesic opcodes, and undecodable instructions abort and
+// blacklist the recording head (their handlers leave the dispatch loop or
+// call out to stateful handlers replay cannot reproduce).
+func Recordable(k isa.Kind) bool { return k < isa.KindHalt }
+
+// aluCode maps an inline-evaluated compute opcode to its specialized replay
+// code; everything else is CAluGen.
+func aluCode(op isa.Op) Code {
+	switch op {
+	case isa.ADD:
+		return CAdd
+	case isa.ADDI:
+		return CAddi
+	case isa.LI:
+		return CLi
+	case isa.MOV:
+		return CMov
+	case isa.SUB:
+		return CSub
+	case isa.MUL:
+		return CMul
+	case isa.AND:
+		return CAnd
+	case isa.OR:
+		return COr
+	case isa.XOR:
+		return CXor
+	case isa.SHL:
+		return CShl
+	case isa.SHR:
+		return CShr
+	case isa.SLT:
+		return CSlt
+	case isa.SEQ:
+		return CSeq
+	}
+	return CAluGen
+}
+
+// isALU reports whether c is a single compute op (fusion candidate).
+func isALU(c Code) bool { return c <= CAluGen }
+
+// Build compiles one recorded superblock into a replayable trace. path is
+// the sequence of retired PCs for one complete loop iteration: it starts at
+// the head and ends with the loop-closing branch whose execution returned
+// to the head. elim (may be nil) marks eliminated-store NOPs for amnesic
+// statistics. Build panics on kinds the recorder must have filtered
+// (see Recordable); that is an internal invariant, not an input error.
+func Build(d *isa.Decoded, path []int32, elim []bool) *Trace {
+	head := path[0]
+	raw := make([]Op, 0, len(path))
+	for j, pc := range path {
+		next := head
+		if j+1 < len(path) {
+			next = path[j+1]
+		}
+		op := Op{PC: pc, Imm: d.Imm[pc], Cat: d.Cat[pc]}
+		switch k := d.Kind[pc]; k {
+		case isa.KindCompute:
+			op.Code = aluCode(d.Op[pc])
+			op.AOp = d.Op[pc]
+			op.Dst = uint8(d.Dst[pc]) & 31
+			op.Src1 = uint8(d.Src1[pc]) & 31
+			op.Src2 = uint8(d.Src2[pc]) & 31
+		case isa.KindLoad:
+			op.Code = CLoad
+			op.Dst = uint8(d.Dst[pc]) & 31
+			op.Src1 = uint8(d.Src1[pc]) & 31
+		case isa.KindStore:
+			op.Code = CStore
+			op.Src1 = uint8(d.Src1[pc]) & 31 // address base
+			op.Src2 = uint8(d.Src2[pc]) & 31 // value
+		case isa.KindNop:
+			op.Code = CNop
+			op.Elim = elim != nil && elim[pc]
+		case isa.KindJmp:
+			op.Code = CBrCharge
+		case isa.KindCondBr:
+			target := d.Target[pc]
+			if target == pc+1 {
+				// Both successors coincide: charge only, no guard.
+				op.Code = CBrCharge
+				break
+			}
+			op.Code = CGuard
+			op.BOp = d.Op[pc]
+			op.BSrc1 = uint8(d.Src1[pc]) & 31
+			op.BSrc2 = uint8(d.Src2[pc]) & 31
+			op.Taken = next == target
+			if op.Taken {
+				op.ExitPC = pc + 1
+			} else {
+				op.ExitPC = target
+			}
+		default:
+			panic("trace: unrecordable kind on recorded path")
+		}
+		raw = append(raw, op)
+	}
+	return &Trace{Head: head, Ops: fuse(raw), NInstr: uint64(len(path))}
+}
+
+// fuse collapses adjacent op pairs into superinstructions. A pair fuses
+// when the first op produces a register (Dst != 0; R0 results read back as
+// zero, so forwarding them would be wrong) and the second consumes it:
+//
+//	ALU  + guard → CAluGuard (compare-and-branch, the loop-close idiom)
+//	load + ALU   → CLoadAlu
+//	ALU  + store → CAluStore (result used as value and/or address base)
+//
+// The Fwd mask records which operand slots take the forwarded result; all
+// other operands still read the register file, and the first op's Dst is
+// still written, so fusion is invisible to architectural state.
+func fuse(raw []Op) []Op {
+	out := make([]Op, 0, len(raw))
+	for i := 0; i < len(raw); i++ {
+		cur := raw[i]
+		if i+1 < len(raw) {
+			nxt := raw[i+1]
+			if f, ok := fusePair(cur, nxt); ok {
+				out = append(out, f)
+				i++
+				continue
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// fusePair attempts to fuse cur followed by nxt.
+func fusePair(cur, nxt Op) (Op, bool) {
+	switch {
+	case isALU(cur.Code) && cur.Dst != 0 && nxt.Code == CGuard &&
+		(nxt.BSrc1 == cur.Dst || nxt.BSrc2 == cur.Dst):
+		f := cur
+		f.Code = CAluGuard
+		f.BOp, f.BSrc1, f.BSrc2 = nxt.BOp, nxt.BSrc1, nxt.BSrc2
+		f.Taken, f.ExitPC, f.PC2 = nxt.Taken, nxt.ExitPC, nxt.PC
+		if nxt.BSrc1 == cur.Dst {
+			f.Fwd |= 1
+		}
+		if nxt.BSrc2 == cur.Dst {
+			f.Fwd |= 2
+		}
+		return f, true
+	case cur.Code == CLoad && cur.Dst != 0 && isALU(nxt.Code) &&
+		(nxt.Src1 == cur.Dst || nxt.Src2 == cur.Dst):
+		f := cur
+		f.Code = CLoadAlu
+		f.AOp, f.Dst2, f.BSrc1, f.BSrc2 = nxt.AOp, nxt.Dst, nxt.Src1, nxt.Src2
+		f.Imm2, f.Cat2, f.PC2 = nxt.Imm, nxt.Cat, nxt.PC
+		if nxt.Src1 == cur.Dst {
+			f.Fwd |= 1
+		}
+		if nxt.Src2 == cur.Dst {
+			f.Fwd |= 2
+		}
+		return f, true
+	case isALU(cur.Code) && cur.Dst != 0 && nxt.Code == CStore &&
+		(nxt.Src1 == cur.Dst || nxt.Src2 == cur.Dst):
+		f := cur
+		f.Code = CAluStore
+		f.BSrc1, f.BSrc2 = nxt.Src1, nxt.Src2 // base, value
+		f.Imm2, f.PC2 = nxt.Imm, nxt.PC
+		if nxt.Src1 == cur.Dst {
+			f.Fwd |= 1
+		}
+		if nxt.Src2 == cur.Dst {
+			f.Fwd |= 2
+		}
+		return f, true
+	}
+	return Op{}, false
+}

@@ -1,0 +1,116 @@
+package trace_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
+)
+
+func mustParse(t *testing.T, src string) *isa.Decoded {
+	t.Helper()
+	p, err := asm.Parse("trace_test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p.Decoded()
+}
+
+// TestBuildFusesPairs checks the three superinstruction patterns on the
+// canonical loop body: load feeding an ALU op, ALU result being stored, and
+// the increment-and-loop-close compare.
+func TestBuildFusesPairs(t *testing.T) {
+	d := mustParse(t, `
+loop:
+    ld   r2, 0(r1)
+    add  r3, r2, r2
+    addi r4, r3, 8
+    st   r4, 0(r1)
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt
+`)
+	path := []int32{0, 1, 2, 3, 4, 5}
+	tr := trace.Build(d, path, nil)
+	if tr.Head != 0 || tr.NInstr != 6 {
+		t.Fatalf("head=%d ninstr=%d, want 0/6", tr.Head, tr.NInstr)
+	}
+	if len(tr.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3 fused: %+v", len(tr.Ops), tr.Ops)
+	}
+	la := tr.Ops[0]
+	if la.Code != trace.CLoadAlu || la.Fwd != 3 || la.PC != 0 || la.PC2 != 1 {
+		t.Errorf("op0 = %+v, want CLoadAlu fwd=3 pcs 0,1", la)
+	}
+	as := tr.Ops[1]
+	if as.Code != trace.CAluStore || as.Fwd != 2 || as.PC != 2 || as.PC2 != 3 {
+		t.Errorf("op1 = %+v, want CAluStore fwd=2 pcs 2,3", as)
+	}
+	ag := tr.Ops[2]
+	if ag.Code != trace.CAluGuard || ag.Fwd != 1 || !ag.Taken || ag.ExitPC != 6 {
+		t.Errorf("op2 = %+v, want CAluGuard fwd=1 taken exit=6", ag)
+	}
+}
+
+// TestBuildGuardDirections: a conditional branch recorded as not-taken
+// guards on the fallthrough and side-exits at the branch target; an
+// unconditional jump inside the path becomes a charge-only op.
+func TestBuildGuardDirections(t *testing.T) {
+	d := mustParse(t, `
+loop:
+    addi r5, r5, 1
+    beq  r5, r7, out
+    add  r2, r2, r2
+    jmp  loop
+out:
+    halt
+`)
+	path := []int32{0, 1, 2, 3}
+	tr := trace.Build(d, path, nil)
+	if len(tr.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3: %+v", len(tr.Ops), tr.Ops)
+	}
+	ag := tr.Ops[0]
+	if ag.Code != trace.CAluGuard || ag.Taken || ag.ExitPC != 4 {
+		t.Errorf("op0 = %+v, want CAluGuard not-taken exit=4", ag)
+	}
+	if tr.Ops[1].Code != trace.CAdd {
+		t.Errorf("op1 = %+v, want CAdd", tr.Ops[1])
+	}
+	if tr.Ops[2].Code != trace.CBrCharge {
+		t.Errorf("op2 = %+v, want CBrCharge (jmp charges, no guard)", tr.Ops[2])
+	}
+}
+
+// TestBuildNoFuseThroughR0: an ALU op writing R0 must not forward its
+// result (R0 reads back as zero), so the pair stays unfused.
+func TestBuildNoFuseThroughR0(t *testing.T) {
+	d := mustParse(t, `
+    add r0, r1, r1
+    st  r0, 0(r1)
+    halt
+`)
+	tr := trace.Build(d, []int32{0, 1}, nil)
+	if len(tr.Ops) != 2 || tr.Ops[0].Code != trace.CAdd || tr.Ops[1].Code != trace.CStore {
+		t.Fatalf("ops = %+v, want unfused CAdd, CStore", tr.Ops)
+	}
+}
+
+// TestBlacklistTombstone: a blacklisted head is a non-nil trace with nil
+// Ops — never replayed, never re-counted — until Invalidate resets it.
+func TestBlacklistTombstone(t *testing.T) {
+	eng := trace.NewEngine(trace.Config{Enable: true}, 8)
+	eng.Counts[3] = 7
+	eng.Blacklist(3)
+	if tr := eng.Traces[3]; tr == nil || tr.Ops != nil {
+		t.Fatalf("tombstone = %+v, want non-nil trace with nil ops", eng.Traces[3])
+	}
+	if eng.Blacklisted != 1 {
+		t.Fatalf("blacklisted = %d, want 1", eng.Blacklisted)
+	}
+	eng.Invalidate(3)
+	if eng.Traces[3] != nil || eng.Counts[3] != 0 {
+		t.Fatalf("invalidate left traces[3]=%v counts[3]=%d", eng.Traces[3], eng.Counts[3])
+	}
+}
