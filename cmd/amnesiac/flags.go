@@ -1,13 +1,22 @@
 package main
 
-import "github.com/amnesiac-sim/amnesiac/internal/cliutil"
+import (
+	"errors"
+
+	"github.com/amnesiac-sim/amnesiac/internal/cliutil"
+)
 
 // validateFlags rejects nonsensical flag values up front via the shared
 // cliutil checks, so every binary reports identical diagnostics.
-func validateFlags(scale float64, workers int, maxInstrs int64) error {
+func validateFlags(scale float64, workers int, maxInstrs int64, ckpt bool, ckptInterval uint64) error {
+	var ckptErr error
+	if ckptInterval != 0 && !ckpt {
+		ckptErr = errors.New("amnesiac: -ckpt-interval requires -ckpt")
+	}
 	return cliutil.All(
 		cliutil.Scale("amnesiac", scale),
 		cliutil.Workers("amnesiac", workers),
 		cliutil.MaxInstrs("amnesiac", maxInstrs),
+		ckptErr,
 	)
 }

@@ -7,22 +7,27 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name      string
-		scale     float64
-		workers   int
-		maxInstrs int64
-		wantErr   string
+		name         string
+		scale        float64
+		workers      int
+		maxInstrs    int64
+		ckpt         bool
+		ckptInterval uint64
+		wantErr      string
 	}{
-		{"defaults", 1.0, 0, 0, ""},
-		{"explicit", 0.5, 4, 1_000_000, ""},
-		{"zero scale", 0, 0, 0, "-scale must be positive"},
-		{"negative scale", -1, 0, 0, "-scale must be positive"},
-		{"negative workers", 1.0, -2, 0, "-workers must be >= 0"},
-		{"negative budget", 1.0, 0, -5, "-maxinstrs must be >= 0"},
+		{"defaults", 1.0, 0, 0, false, 0, ""},
+		{"explicit", 0.5, 4, 1_000_000, false, 0, ""},
+		{"ckpt with interval", 1.0, 0, 0, true, 5000, ""},
+		{"ckpt derived interval", 1.0, 0, 0, true, 0, ""},
+		{"zero scale", 0, 0, 0, false, 0, "-scale must be positive"},
+		{"negative scale", -1, 0, 0, false, 0, "-scale must be positive"},
+		{"negative workers", 1.0, -2, 0, false, 0, "-workers must be >= 0"},
+		{"negative budget", 1.0, 0, -5, false, 0, "-maxinstrs must be >= 0"},
+		{"interval without ckpt", 1.0, 0, 0, false, 5000, "-ckpt-interval requires -ckpt"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.scale, tc.workers, tc.maxInstrs)
+			err := validateFlags(tc.scale, tc.workers, tc.maxInstrs, tc.ckpt, tc.ckptInterval)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -35,10 +35,12 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		serveAddr  = flag.String("serve-addr", "", "amnesiacd base URL; run the benchmark as a service job instead of in-process")
 		jobTimeout = flag.Duration("job-timeout", 0, "deadline for the remote job (with -serve-addr; 0 = none)")
+		ckptTable  = flag.Bool("ckpt", false, "also run the checkpoint/restart experiment and print its table")
+		ckptIv     = flag.Uint64("ckpt-interval", 0, "checkpoint period in dynamic instructions (with -ckpt; 0 = ~1/8 of the run)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*scale, *workers, *maxInstr); err != nil {
+	if err := validateFlags(*scale, *workers, *maxInstr, *ckptTable, *ckptIv); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -89,6 +91,8 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Workers = *workers
 	cfg.MaxInstrs = uint64(*maxInstr)
+	// One cache so the checkpoint experiment reuses the suite's artifacts.
+	cfg.Cache = harness.NewArtifactCache()
 	res, err := harness.Run(cfg, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -122,4 +126,12 @@ func main() {
 			fmt.Sprintf("%d/%d", run.Stat.RcmpRecomputed, run.Stat.RcmpTotal), run.Verified)
 	}
 	t.Render(os.Stdout)
+
+	if *ckptTable {
+		fmt.Println()
+		if err := harness.CheckpointTable(os.Stdout, cfg, []*workloads.Workload{w}, *ckptIv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// mode builds a ModeResult carrying only the MIPS the comparison reads.
+func mode(mips float64) ModeResult { return ModeResult{MIPS: mips} }
+
+// TestCompareReportsOneSided pins the regression fixed here: a mode present
+// in only one report must be reported, not silently skipped (dropping the
+// amnesic measurement from a new report used to read as a clean comparison),
+// and one-sided workloads are named with the file that has them.
+func TestCompareReportsOneSided(t *testing.T) {
+	oldRep := &Report{
+		Workloads: []WorkloadResult{
+			{Name: "is", Modes: map[string]ModeResult{
+				"classic": mode(100), "profiled": mode(50), "amnesic": mode(25),
+			}},
+			{Name: "mcf", Modes: map[string]ModeResult{"classic": mode(80)}},
+		},
+		Totals: map[string]ModeResult{"classic": mode(90)},
+	}
+	newRep := &Report{
+		Workloads: []WorkloadResult{
+			// amnesic dropped, profiled fresh-but-unmeasured-before is kept.
+			{Name: "is", Modes: map[string]ModeResult{
+				"classic": mode(105), "profiled": mode(52),
+			}},
+			{Name: "cg", Modes: map[string]ModeResult{"classic": mode(70)}},
+		},
+		Totals: map[string]ModeResult{"classic": mode(95)},
+	}
+
+	var sb strings.Builder
+	if err := compareLoaded(&sb, oldRep, newRep, "old.json", "new.json", 0.10); err != nil {
+		t.Fatalf("compareLoaded: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"is     amnesic      25.0 MIPS (only in old.json)",
+		"mcf    only in old.json",
+		"cg     only in new.json",
+		"TOTAL  classic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("no measured pair regressed, but output says so:\n%s", out)
+	}
+}
+
+// TestCompareReportsGatesOnlyMeasuredPairs: the regression gate fires on a
+// measured pair beyond tolerance and stays quiet for one-sided entries.
+func TestCompareReportsGatesOnlyMeasuredPairs(t *testing.T) {
+	oldRep := &Report{Workloads: []WorkloadResult{
+		{Name: "is", Modes: map[string]ModeResult{"classic": mode(100), "amnesic": mode(25)}},
+	}}
+	newRep := &Report{Workloads: []WorkloadResult{
+		{Name: "is", Modes: map[string]ModeResult{"classic": mode(80)}},
+	}}
+	var sb strings.Builder
+	err := compareLoaded(&sb, oldRep, newRep, "old.json", "new.json", 0.10)
+	if err == nil || !strings.Contains(err.Error(), "is/classic") {
+		t.Fatalf("20%% classic drop not gated: err = %v", err)
+	}
+	if strings.Contains(err.Error(), "amnesic") {
+		t.Errorf("one-sided amnesic entry wrongly gated: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("regressed pair not marked in output:\n%s", sb.String())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -421,6 +422,16 @@ func compareReports(oldPath, newPath string, tolerate float64) error {
 	if err != nil {
 		return err
 	}
+	return compareLoaded(os.Stdout, oldRep, newRep, oldPath, newPath, tolerate)
+}
+
+// compareLoaded is compareReports on decoded reports, writing to w so tests
+// can assert on the rendered comparison. Every (workload, mode) pair present
+// in either report produces a line: measured pairs get a delta and the
+// regression gate, one-sided pairs are called out with which file has them —
+// a mode silently missing from the new report is a dropped measurement, not
+// a pass.
+func compareLoaded(w io.Writer, oldRep, newRep *Report, oldPath, newPath string, tolerate float64) error {
 	oldBy := make(map[string]map[string]ModeResult, len(oldRep.Workloads))
 	for _, wr := range oldRep.Workloads {
 		oldBy[wr.Name] = wr.Modes
@@ -429,18 +440,21 @@ func compareReports(oldPath, newPath string, tolerate float64) error {
 	for _, wr := range newRep.Workloads {
 		oldModes, ok := oldBy[wr.Name]
 		if !ok {
-			fmt.Printf("%-6s only in %s\n", wr.Name, newPath)
+			fmt.Fprintf(w, "%-6s only in %s\n", wr.Name, newPath)
 			continue
 		}
 		delete(oldBy, wr.Name)
 		for _, mode := range modes {
-			nm, ok := wr.Modes[mode]
-			if !ok {
+			nm, newOK := wr.Modes[mode]
+			om, oldOK := oldModes[mode]
+			switch {
+			case !newOK && !oldOK:
 				continue
-			}
-			om, ok := oldModes[mode]
-			if !ok || om.MIPS <= 0 {
-				fmt.Printf("%-6s %-8s %8.1f MIPS (no old measurement)\n", wr.Name, mode, nm.MIPS)
+			case !newOK:
+				fmt.Fprintf(w, "%-6s %-8s %8.1f MIPS (only in %s)\n", wr.Name, mode, om.MIPS, oldPath)
+				continue
+			case !oldOK || om.MIPS <= 0:
+				fmt.Fprintf(w, "%-6s %-8s %8.1f MIPS (no old measurement)\n", wr.Name, mode, nm.MIPS)
 				continue
 			}
 			ratio := nm.MIPS / om.MIPS
@@ -449,17 +463,20 @@ func compareReports(oldPath, newPath string, tolerate float64) error {
 				verdict = "  REGRESSED"
 				regressed = append(regressed, fmt.Sprintf("%s/%s %.1f%%", wr.Name, mode, (ratio-1)*100))
 			}
-			fmt.Printf("%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%%s\n",
+			fmt.Fprintf(w, "%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%%s\n",
 				wr.Name, mode, om.MIPS, nm.MIPS, (ratio-1)*100, verdict)
 		}
 	}
-	for name := range oldBy {
-		fmt.Printf("%-6s only in %s\n", name, oldPath)
+	// Workloads only in the old report, in its order (not map order).
+	for _, wr := range oldRep.Workloads {
+		if _, ok := oldBy[wr.Name]; ok {
+			fmt.Fprintf(w, "%-6s only in %s\n", wr.Name, oldPath)
+		}
 	}
 	for _, mode := range modes {
 		om, nm := oldRep.Totals[mode], newRep.Totals[mode]
 		if om.MIPS > 0 && nm.MIPS > 0 {
-			fmt.Printf("%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%\n",
+			fmt.Fprintf(w, "%-6s %-8s %8.1f -> %8.1f MIPS  %+6.1f%%\n",
 				"TOTAL", mode, om.MIPS, nm.MIPS, (nm.MIPS/om.MIPS-1)*100)
 		}
 	}

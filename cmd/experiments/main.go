@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,summary or all")
+		exp        = flag.String("exp", "all", "comma-separated artifacts: table1,table2,table3,fig3,fig4,fig5,table4,table5,fig6,fig7,fig8,table6,ckpt,summary or all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		suite      = flag.String("suite", "responsive", "responsive (the 11 of Figs. 3-8) or all (33 benchmarks)")
 		maxR       = flag.Float64("maxr", 200, "break-even sweep upper bound (Table 6)")
@@ -124,6 +124,17 @@ func main() {
 		// The break-even sweep only makes sense for benchmarks with slices:
 		// the responsive set.
 		if err := harness.Table6(out, cfg, workloads.Responsive(), *maxR); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if has("ckpt") {
+		// Checkpoint/restart experiment (recomputation-enabled checkpointing):
+		// responsive set only, like the break-even sweep, since omission needs
+		// slices to prove words recomputable.
+		if err := harness.CheckpointTable(out, cfg, workloads.Responsive(), 0); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,151 @@
+package difftest
+
+import (
+	"errors"
+	"flag"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/ckpt"
+	"github.com/amnesiac-sim/amnesiac/internal/gen"
+)
+
+var (
+	ckptSeedFlag = flag.Int64("difftest.ckptseed", -1,
+		"replay one generator seed through the restart oracle (from a Divergence report)")
+	ckptSeedCount = flag.Int("difftest.ckptn", 200,
+		"number of generator seeds TestCkptRestartOracle checks")
+)
+
+// TestCkptRestartOracle is the restart-oracle sweep: N seeded random
+// programs, each crashed at random dynamic instructions under both
+// checkpoint policies and restarted from the surviving checkpoint,
+// asserting the splice is bit-identical to the uninterrupted run —
+// registers, memory, store stream, final pc, and energy account. With
+// -difftest.ckptseed=N it replays exactly one reported seed.
+func TestCkptRestartOracle(t *testing.T) {
+	opts := DefaultCkptOptions()
+	if *ckptSeedFlag >= 0 {
+		if err := CheckCkptSeed(*ckptSeedFlag, opts); err != nil {
+			t.Fatalf("seed %d: %v", *ckptSeedFlag, err)
+		}
+		return
+	}
+	n := *ckptSeedCount
+	if testing.Short() {
+		n = 40
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failed  []error
+		workers = runtime.GOMAXPROCS(0)
+		seeds   = make(chan int64, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if err := CheckCkptSeed(seed, opts); err != nil {
+					mu.Lock()
+					failed = append(failed, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+	for _, err := range failed {
+		t.Error(err)
+	}
+	if len(failed) == 0 {
+		t.Logf("%d seeds: crash/restart is bit-identical under %d policies", n, len(opts.Policies))
+	}
+}
+
+// TestCkptTamperCaught is the restart oracle's negative control: corrupt
+// every slice-recomputed word at restart and demand the oracle notices,
+// with a full report (minimized program, ckpt replay hint). An oracle that
+// cannot catch a deliberately broken recomputation would be vacuous.
+func TestCkptTamperCaught(t *testing.T) {
+	opts := DefaultCkptOptions()
+	opts.TamperRestart = 0xDEADBEEF
+	opts.Policies = []ckpt.Policy{ckpt.PolicyRecomp}
+	for seed := int64(0); seed < 300; seed++ {
+		err := CheckCkptSeed(seed, opts)
+		if err == nil {
+			continue // no checkpoint omitted a word on this seed's crash points
+		}
+		var d *Divergence
+		if !errors.As(err, &d) {
+			t.Fatalf("seed %d: want *Divergence, got %v", seed, err)
+		}
+		if d.Seed != seed {
+			t.Errorf("divergence carries seed %d, want %d", d.Seed, seed)
+		}
+		msg := err.Error()
+		for _, want := range []string{"difftest: divergence", "ckpt recomp", "minimized program", "-difftest.ckptseed="} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report missing %q:\n%s", want, msg)
+			}
+		}
+		return
+	}
+	t.Fatal("tampered restart survived 300 seeds: the oracle is not sensitive to broken recomputation")
+}
+
+// TestCkptShrinkPreservesLength pins the delta-debug contract for the
+// restart oracle's minimizer: NOP substitution keeps program length (branch
+// targets stay valid) and the result still diverges.
+func TestCkptShrinkPreservesLength(t *testing.T) {
+	opts := DefaultCkptOptions()
+	opts.TamperRestart = 1
+	opts.Policies = []ckpt.Policy{ckpt.PolicyRecomp}
+	opts.Shrink = false
+	for seed := int64(0); seed < 300; seed++ {
+		prog, initial, err := gen.Generate(seed, opts.Gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.RandSeed = seed
+		if CheckCkpt(prog, initial, opts) == nil {
+			continue
+		}
+		small := ShrinkCkpt(prog, initial, opts)
+		if len(small.Code) != len(prog.Code) {
+			t.Fatalf("shrinking must preserve program length (%d -> %d)", len(prog.Code), len(small.Code))
+		}
+		if live, orig := countLive(small), countLive(prog); live > orig {
+			t.Errorf("seed %d: shrink grew the program (%d -> %d live)", seed, orig, live)
+		}
+		var d *Divergence
+		if !errors.As(CheckCkpt(small, initial, opts), &d) {
+			t.Fatalf("seed %d: minimized program no longer diverges", seed)
+		}
+		return
+	}
+	t.Fatal("no tampered seed diverged in 300 tries")
+}
+
+// TestCheckCkptRejectsNilModel pins the plain-error path.
+func TestCheckCkptRejectsNilModel(t *testing.T) {
+	prog, initial, err := gen.Generate(1, gen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckCkpt(prog, initial, CkptOptions{})
+	if err == nil {
+		t.Fatal("zero options accepted")
+	}
+	var d *Divergence
+	if errors.As(err, &d) {
+		t.Fatalf("infrastructure error misreported as divergence: %v", err)
+	}
+}

@@ -104,6 +104,9 @@ type Divergence struct {
 	Program *isa.Program
 	// Initial is the program's initial memory image.
 	Initial *mem.Memory
+	// Replay, when non-empty, overrides the default replay hint line (the
+	// restart oracle points at its own test and flag).
+	Replay string
 }
 
 func (d *Divergence) Error() string {
@@ -119,7 +122,10 @@ func (d *Divergence) Error() string {
 		fmt.Fprintf(&sb, "\nminimized program (%d live of %d instructions):\n%s",
 			live, len(d.Program.Code), asm.Format(d.Program))
 	}
-	if d.Seed >= 0 {
+	switch {
+	case d.Replay != "":
+		sb.WriteString(d.Replay)
+	case d.Seed >= 0:
 		fmt.Fprintf(&sb, "replay: go test ./internal/difftest -run TestDiffOracle -difftest.seed=%d", d.Seed)
 	}
 	return sb.String()

@@ -2,6 +2,9 @@ package difftest
 
 import (
 	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/ckpt"
+	"github.com/amnesiac-sim/amnesiac/internal/gen"
 )
 
 // FuzzDiffExec drives the full differential pipeline from a fuzzed
@@ -25,6 +28,34 @@ func FuzzDiffExec(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckSeed(seed, opts); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// FuzzCkptRestart drives the crash-point differential restart oracle over
+// the (seed, crash point, policy) space: any generator program, crashed at
+// any dynamic instruction under either checkpoint policy, must restart from
+// its last checkpoint bit-identically to the uninterrupted run. The raw
+// crash value is clamped into the program's dynamic range by CheckCkpt, so
+// every fuzz input lands on a real crash boundary.
+func FuzzCkptRestart(f *testing.F) {
+	f.Add(int64(0), uint64(1), byte(0))
+	f.Add(int64(7), uint64(500), byte(1))
+	f.Add(int64(42), uint64(1<<32), byte(0))
+	f.Add(int64(-1), uint64(3), byte(1))
+	opts := DefaultCkptOptions()
+	opts.Shrink = false // keep per-input cost flat; replay + shrink by seed offline
+	f.Fuzz(func(t *testing.T, seed int64, crash uint64, pol byte) {
+		o := opts
+		o.Policies = []ckpt.Policy{ckpt.Policy(pol) % 2}
+		o.CrashPoints = []uint64{crash}
+		o.RandSeed = seed
+		prog, initial, err := gen.Generate(seed, o.Gen)
+		if err != nil {
+			t.Skip() // generator rejects this seed's config; nothing to test
+		}
+		if err := CheckCkpt(prog, initial, o); err != nil {
+			t.Fatalf("seed %d crash %d policy %d: %v", seed, crash, pol, err)
 		}
 	})
 }

@@ -18,10 +18,27 @@ import (
 // and are reverted.
 func Shrink(prog *isa.Program, initial *mem.Memory, opts Options) *isa.Program {
 	opts.Shrink = false
-	diverges := func(p *isa.Program) bool {
+	return shrinkWith(prog, func(p *isa.Program) bool {
 		var d *Divergence
 		return errors.As(Check(p, initial, opts), &d)
-	}
+	})
+}
+
+// ShrinkCkpt is Shrink with the restart oracle as the predicate: the
+// minimized program still exhibits a checkpoint/restart divergence under
+// the same options (crash points re-derive deterministically from RandSeed
+// against each candidate's own instruction count).
+func ShrinkCkpt(prog *isa.Program, initial *mem.Memory, opts CkptOptions) *isa.Program {
+	opts.Shrink = false
+	return shrinkWith(prog, func(p *isa.Program) bool {
+		var d *Divergence
+		return errors.As(CheckCkpt(p, initial, opts), &d)
+	})
+}
+
+// shrinkWith is the shared NOP-substitution delta-debugging loop over an
+// arbitrary "still diverges" predicate.
+func shrinkWith(prog *isa.Program, diverges func(*isa.Program) bool) *isa.Program {
 	cur := prog.Clone()
 	if !diverges(cur) {
 		// Not reproducible under the minimization predicate (e.g. the

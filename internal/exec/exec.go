@@ -42,6 +42,12 @@ const DefaultMaxInstrs = 200_000_000
 // value so errors.Is keeps working across both packages.
 var ErrInstrBudget = errors.New("cpu: dynamic instruction budget exceeded")
 
+// ErrCrash is returned when execution reaches Env.CrashAt: the injected
+// fault for checkpoint/restart testing. State left in Env (Regs, Mem, Acct,
+// PC) is exactly the state at the crash boundary — the "machine died here"
+// snapshot a restart must never rely on.
+var ErrCrash = errors.New("exec: injected crash")
+
 // ChargeTable holds per-run precomputed energy charges for inlined
 // accounting: per-category instruction energies and combined
 // (issue + hierarchy) load/store energies per serviced level. The values
@@ -118,8 +124,23 @@ type Env struct {
 	// Trace configures the trace-reuse engine.
 	Trace trace.Config
 
+	// StartPC is the program counter execution begins at (resume from a
+	// checkpoint; 0 for a fresh run).
+	StartPC int
+	// StopAt, when non-zero, pauses the run cleanly once Acct.Instrs reaches
+	// it: Run returns nil with Stopped=true and PC at the resume point. The
+	// checkpoint engine uses it to slice one execution into intervals.
+	StopAt uint64
+	// CrashAt, when non-zero, aborts with ErrCrash once Acct.Instrs reaches
+	// it — fault injection at an arbitrary dynamic instruction. CrashAt wins
+	// over StopAt at the same boundary.
+	CrashAt uint64
+
 	// PC is the final program counter (out).
 	PC int
+	// Stopped reports that the run paused at StopAt rather than halting
+	// (out; false whenever Run returns an error or the program halted).
+	Stopped bool
 	// Engine is the trace engine the run used, for statistics and tests
 	// (out; nil when tracing is disabled).
 	Engine *trace.Engine
@@ -144,6 +165,19 @@ func Run(env *Env, p *isa.Program) error {
 	if max == 0 {
 		max = DefaultMaxInstrs
 	}
+	// lim is the first instruction count at which the loop must give way:
+	// the budget, a clean pause (StopAt), or an injected crash (CrashAt),
+	// whichever comes first. The loop-top check and the trace replayer both
+	// trip on lim, so a replayed superblock never crosses a stop or crash
+	// boundary any more than it may cross the budget.
+	lim := max
+	if env.StopAt != 0 && env.StopAt < lim {
+		lim = env.StopAt
+	}
+	if env.CrashAt != 0 && env.CrashAt < lim {
+		lim = env.CrashAt
+	}
+	env.Stopped = false
 	kinds, ops, cats := d.Kind[:n], d.Op[:n], d.Cat[:n]
 	dsts, src1s, src2s, imms, targets := d.Dst[:n], d.Src1[:n], d.Src2[:n], d.Imm[:n], d.Target[:n]
 	hier, l1, memory := env.Hier, env.Hier.L1, env.Mem
@@ -195,7 +229,7 @@ func Run(env *Env, p *isa.Program) error {
 	rsh := replayShared{
 		ct: &ct, l1: l1, hier: hier, memory: memory,
 		regs: regs, byCat: &byCat, nopSkips: env.NopSkips, storeHook: env.StoreHook,
-		code: code, pfx: env.prefix(), max: max,
+		code: code, pfx: env.prefix(), max: lim,
 		eng: eng, recHead: -1,
 		fetchE: fetchE, fetchT: fetchT, wbL2: wbL2, wbMem: wbMem, cycle: cycle,
 		charge: charge,
@@ -216,7 +250,7 @@ func Run(env *Env, p *isa.Program) error {
 	slow := 0
 
 	var rerr error
-	pc := 0
+	pc := env.StartPC
 loop:
 	for {
 		if uint(pc) >= uint(n) {
@@ -227,8 +261,15 @@ loop:
 			}
 			break loop
 		}
-		if instrs >= max {
-			rerr = fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+		if instrs >= lim {
+			switch {
+			case env.CrashAt != 0 && instrs >= env.CrashAt:
+				rerr = fmt.Errorf("%w at instruction %d (pc %d)", ErrCrash, instrs, pc)
+			case env.StopAt != 0 && instrs >= env.StopAt:
+				env.Stopped = true
+			default:
+				rerr = fmt.Errorf("%w (%d)", ErrInstrBudget, max)
+			}
 			break loop
 		}
 		if slow != 0 {

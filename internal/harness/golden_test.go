@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/amnesiac-sim/amnesiac/internal/harness"
@@ -79,6 +80,25 @@ func TestGoldenReport(t *testing.T) {
 	fmt.Fprintln(&buf)
 	harness.Summary(&buf, results)
 	checkGolden(t, "golden_report.txt", buf.Bytes())
+}
+
+// TestGoldenCheckpoint pins the checkpoint size/energy/restart table. The
+// golden must show the recomp policy saving measurably over full snapshots
+// and both restarted runs verifying bit-identical against the classic
+// baseline — the table is the experiments-level witness for the restart
+// oracle in internal/difftest.
+func TestGoldenCheckpoint(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cache = harness.NewArtifactCache()
+	var buf bytes.Buffer
+	if err := harness.CheckpointTable(&buf, cfg, goldenWorkloads(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_checkpoint.txt", buf.Bytes())
+	out := buf.String()
+	if strings.Contains(out, "false") {
+		t.Fatalf("checkpoint table reports an unverified restart:\n%s", out)
+	}
 }
 
 // TestGoldenTable6 pins the break-even sweep output. The sweep re-runs

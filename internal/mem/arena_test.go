@@ -133,6 +133,68 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreAcrossWindowMigration extends the round-trip to the
+// page-map spill case: a snapshot taken while a page still lives in the
+// sparse map must stay faithful after the original's window grows over that
+// page and migrates it into the flat arena. Store() can no longer reach the
+// spilled state directly (a store inside a window's growth range always
+// extends the window), so the test plants the page map entry itself —
+// exactly the state grown()'s migration loop defends against — and checks
+// the every-word-has-one-home invariant is restored.
+func TestSnapshotRestoreAcrossWindowMigration(t *testing.T) {
+	m := NewMemory()
+	m.Store(wordAddr(0x20), 1) // anchor the primary arena: one page at base 0
+	if got := m.arenaPages(); got != 1 {
+		t.Fatalf("arena = %d pages, want 1", got)
+	}
+
+	// Spill a page into the map inside the primary window's growth range.
+	spillW := uint64(2*pageWords + 5)
+	p := new(page)
+	p[spillW&pageMask] = 0xfeed
+	m.pages[spillW>>pageShift] = p
+	if m.Load(wordAddr(spillW)) != 0xfeed {
+		t.Fatal("spilled page not visible through the page-map path")
+	}
+
+	// Snapshot with the mixed representation, then grow the original's arena
+	// past the spilled page: grown() must swallow and delete it.
+	snap := m.Clone()
+	if !snap.Equal(m) {
+		t.Fatal("snapshot differs before migration")
+	}
+	growW := uint64(3 * pageWords)
+	m.Store(wordAddr(growW), 0xbeef)
+	if len(m.pages) != 0 {
+		t.Errorf("migration left %d pages in the map (words must have one home)", len(m.pages))
+	}
+	if _, _, ok := m.WindowFor(wordAddr(spillW)); !ok {
+		t.Error("migrated page not reachable through the flat window")
+	}
+	if m.Load(wordAddr(spillW)) != 0xfeed {
+		t.Error("migration lost the spilled value")
+	}
+
+	// The snapshot must be untouched, and Diff must see exactly the one new
+	// store despite the representations now differing.
+	if snap.Load(wordAddr(growW)) != 0 || snap.Load(wordAddr(spillW)) != 0xfeed {
+		t.Error("migration of the original leaked into the snapshot")
+	}
+	if d := m.Diff(snap, 16); len(d) != 1 || d[0] != wordAddr(growW) {
+		t.Fatalf("Diff across representations = %#x, want only %#x", d, wordAddr(growW))
+	}
+
+	// Restore: replaying the store on the snapshot triggers the snapshot's
+	// own migration and reconverges bit-for-bit.
+	snap.Store(wordAddr(growW), 0xbeef)
+	if !snap.Equal(m) || !m.Equal(snap) {
+		t.Errorf("restore+replay differs across migration: %#x", snap.Diff(m, 8))
+	}
+	if snap.Footprint() != m.Footprint() {
+		t.Errorf("Footprint %d vs %d after both migrated", snap.Footprint(), m.Footprint())
+	}
+}
+
 // TestEqualAcrossRepresentations: the same contents written in different
 // orders land in different representations (which base anchors the primary
 // arena depends on store order); Equal, Diff and Footprint must not care.

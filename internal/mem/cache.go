@@ -179,6 +179,22 @@ func (c *Cache) DirtyLines() int {
 // ResetStats zeroes hit/miss/eviction counters without touching contents.
 func (c *Cache) ResetStats() { c.Hits, c.Misses, c.Evictions = 0, 0, 0 }
 
+// Clone returns a deep copy: tags, LRU state, clock and stats all carry
+// over, so a run resumed on the clone services exactly the hit/miss
+// sequence the original would have. The copy keeps the single contiguous
+// backing array layout NewCache builds.
+func (c *Cache) Clone() *Cache {
+	nc := *c
+	nsets, assoc := len(c.sets), c.cfg.Assoc
+	backing := make([]line, nsets*assoc)
+	nc.sets = make([][]line, nsets)
+	for i := range nc.sets {
+		nc.sets[i] = backing[i*assoc : (i+1)*assoc]
+		copy(nc.sets[i], c.sets[i])
+	}
+	return &nc
+}
+
 // HierarchyConfig configures the two-level data hierarchy.
 type HierarchyConfig struct {
 	L1 CacheConfig
@@ -269,6 +285,14 @@ func (h *Hierarchy) Peek(addr uint64) energy.Level {
 		return energy.L2
 	}
 	return energy.Mem
+}
+
+// Clone returns a deep copy of both levels and the serviced counters. The
+// checkpoint engine snapshots the hierarchy with it so a restarted run's
+// cache behavior — and therefore its energy account — is bit-identical to
+// the uninterrupted run's.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{L1: h.L1.Clone(), L2: h.L2.Clone(), Serviced: h.Serviced}
 }
 
 // ResetStats zeroes all counters without touching contents.

@@ -146,3 +146,65 @@ func TestStringRendersTree(t *testing.T) {
 		}
 	}
 }
+
+// TestHistInputsTable drives HistInputs through every live/hist split of the
+// sample slice's four inputs: only Hist-kind inputs may be returned, in
+// slice order, and HasNonRecomputable must flip exactly when the Hist set
+// (or a read-only load) is non-empty.
+func TestHistInputsTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		histRegs map[isa.Reg]bool // inputs to leave as InputHist; the rest become live
+		wantRegs []isa.Reg        // expected HistInputs registers, in input order
+	}{
+		{"all hist (validation default)", map[isa.Reg]bool{1: true, 2: true, 8: true, 9: true}, []isa.Reg{1, 2, 8, 9}},
+		{"all live", map[isa.Reg]bool{}, nil},
+		{"one overwritten register", map[isa.Reg]bool{8: true}, []isa.Reg{8}},
+		{"mixed across nodes", map[isa.Reg]bool{2: true, 9: true}, []isa.Reg{2, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := buildSample()
+			for _, in := range s.Inputs {
+				if !tc.histRegs[in.Reg] {
+					in.Kind = InputLive
+				}
+			}
+			var got []isa.Reg
+			for _, in := range s.HistInputs() {
+				if in.Kind != InputHist {
+					t.Errorf("HistInputs returned a %s input (r%d)", in.Kind, in.Reg)
+				}
+				got = append(got, in.Reg)
+			}
+			if len(got) != len(tc.wantRegs) {
+				t.Fatalf("HistInputs regs = %v, want %v", got, tc.wantRegs)
+			}
+			for i, r := range tc.wantRegs {
+				if got[i] != r {
+					t.Fatalf("HistInputs regs = %v, want %v", got, tc.wantRegs)
+				}
+			}
+			if want := len(tc.wantRegs) > 0; s.HasNonRecomputable() != want {
+				t.Errorf("HasNonRecomputable = %v with hist inputs %v", s.HasNonRecomputable(), got)
+			}
+		})
+	}
+}
+
+// TestHistInputsReflectsFinalize pins the interaction with re-Finalize:
+// kinds reset to the Hist default, so validation decisions do not survive a
+// rebuild of the input list.
+func TestHistInputsReflectsFinalize(t *testing.T) {
+	s := buildSample()
+	for _, in := range s.Inputs {
+		in.Kind = InputLive
+	}
+	if n := len(s.HistInputs()); n != 0 {
+		t.Fatalf("after liveness, HistInputs = %d, want 0", n)
+	}
+	s.Finalize()
+	if n := len(s.HistInputs()); n != len(s.Inputs) {
+		t.Fatalf("after re-Finalize, HistInputs = %d, want %d (the Hist default)", n, len(s.Inputs))
+	}
+}

@@ -329,6 +329,46 @@ func TestEndToEndWaitMode(t *testing.T) {
 	}
 }
 
+// TestEndToEndCheckpoint: a checkpoint job runs both policies per workload,
+// every restart verifies bit-identical against the classic baseline, and the
+// recomp policy's checkpoint payload is strictly smaller than full's.
+func TestEndToEndCheckpoint(t *testing.T) {
+	h := newE2E(t, Config{JobWorkers: 1, SimWorkers: 2, QueueCap: 4})
+	st, code := h.post(t, `{"kind":"checkpoint","workloads":["is"],"scale":0.05}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("checkpoint submission: HTTP %d, want 202", code)
+	}
+	got := h.waitTerminal(t, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("checkpoint job = %+v, want done", got)
+	}
+	var rep Report
+	if err := json.Unmarshal(h.reportBytes(t, got.Key), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if len(rep.Checkpoint) != 2 {
+		t.Fatalf("checkpoint rows = %d, want 2 (full + recomp)", len(rep.Checkpoint))
+	}
+	rows := map[string]CheckpointRow{}
+	for _, r := range rep.Checkpoint {
+		if !r.Verified {
+			t.Errorf("%s/%s restart not verified", r.Name, r.Policy)
+		}
+		if r.Checkpoints < 1 {
+			t.Errorf("%s/%s took no checkpoints", r.Name, r.Policy)
+		}
+		rows[r.Policy] = r
+	}
+	full, recomp := rows["full"], rows["recomp"]
+	if full.Policy == "" || recomp.Policy == "" {
+		t.Fatalf("missing policy rows: %+v", rep.Checkpoint)
+	}
+	if recomp.AvgPayloadWords >= full.AvgPayloadWords {
+		t.Errorf("recomp payload %.1f words >= full %.1f: omission bought nothing",
+			recomp.AvgPayloadWords, full.AvgPayloadWords)
+	}
+}
+
 // TestJobList: the listing endpoint returns recent jobs.
 func TestJobList(t *testing.T) {
 	h := newE2E(t, Config{JobWorkers: 1, SimWorkers: 1})

@@ -21,10 +21,11 @@ import (
 type Report struct {
 	// Spec is the canonical (Normalize-d) spec with the deadline zeroed —
 	// the report describes the cacheable identity, not one submission.
-	Spec      JobSpec          `json:"spec"`
-	Suite     []WorkloadReport `json:"suite,omitempty"`
-	BreakEven []BreakEvenRow   `json:"break_even,omitempty"`
-	Difftest  *DifftestReport  `json:"difftest,omitempty"`
+	Spec       JobSpec          `json:"spec"`
+	Suite      []WorkloadReport `json:"suite,omitempty"`
+	BreakEven  []BreakEvenRow   `json:"break_even,omitempty"`
+	Difftest   *DifftestReport  `json:"difftest,omitempty"`
+	Checkpoint []CheckpointRow  `json:"checkpoint,omitempty"`
 }
 
 // ClassicReport summarizes the classic (non-amnesic) baseline execution.
@@ -66,6 +67,24 @@ type BreakEvenRow struct {
 	Name    string  `json:"name"`
 	Factor  float64 `json:"factor"`
 	AtBound bool    `json:"at_bound"`
+}
+
+// CheckpointRow is one (workload, policy) checkpoint-experiment entry,
+// mirroring harness.CheckpointResult.
+type CheckpointRow struct {
+	Name              string  `json:"name"`
+	Policy            string  `json:"policy"`
+	Interval          uint64  `json:"interval"`
+	Checkpoints       int     `json:"checkpoints"`
+	AvgPayloadWords   float64 `json:"avg_payload_words"`
+	FootprintWords    float64 `json:"footprint_words"`
+	SavingsPct        float64 `json:"savings_pct"`
+	CkptEnergyNJ      float64 `json:"ckpt_energy_nj"`
+	RestartWords      int     `json:"restart_words"`
+	RestartRecomputed int     `json:"restart_recomputed"`
+	RestartEnergyNJ   float64 `json:"restart_energy_nj"`
+	RestartTimeNS     float64 `json:"restart_time_ns"`
+	Verified          bool    `json:"verified"`
 }
 
 // DifftestReport summarizes a differential-oracle sweep.
@@ -119,6 +138,8 @@ func (r *runner) run(ctx context.Context, spec JobSpec, emit func(Event)) ([]byt
 		rep.BreakEven, err = r.runBreakEven(ctx, spec, emit)
 	case KindDifftest:
 		rep.Difftest, err = r.runDifftest(ctx, spec, emit)
+	case KindCheckpoint:
+		rep.Checkpoint, err = r.runCheckpoint(ctx, spec, emit)
 	default:
 		err = fmt.Errorf("server: unknown kind %q", spec.Kind)
 	}
@@ -212,6 +233,43 @@ func (r *runner) runBreakEven(ctx context.Context, spec JobSpec, emit func(Event
 		}
 		out = append(out, BreakEvenRow{Name: name, Factor: factor, AtBound: factor >= spec.MaxR})
 		emit(Event{Type: "progress", Workload: name, Stage: "breakeven", Done: i + 1, Total: len(spec.Workloads)})
+	}
+	return out, nil
+}
+
+func (r *runner) runCheckpoint(ctx context.Context, spec JobSpec, emit func(Event)) ([]CheckpointRow, error) {
+	cfg := r.config(spec)
+	out := make([]CheckpointRow, 0, 2*len(spec.Workloads))
+	for i, name := range spec.Workloads {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("server: checkpoint cancelled: %w", err)
+		}
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := harness.RunCheckpoint(cfg, w, spec.CkptInterval)
+		if err != nil {
+			return nil, err
+		}
+		for _, cr := range rows {
+			out = append(out, CheckpointRow{
+				Name:              cr.Workload,
+				Policy:            cr.Policy.String(),
+				Interval:          cr.Interval,
+				Checkpoints:       cr.Checkpoints,
+				AvgPayloadWords:   cr.AvgPayloadWords,
+				FootprintWords:    cr.FootprintWords,
+				SavingsPct:        cr.SavingsPct,
+				CkptEnergyNJ:      cr.CkptEnergyNJ,
+				RestartWords:      cr.RestartWords,
+				RestartRecomputed: cr.RestartRecomputed,
+				RestartEnergyNJ:   cr.RestartEnergyNJ,
+				RestartTimeNS:     cr.RestartTimeNS,
+				Verified:          cr.Verified,
+			})
+		}
+		emit(Event{Type: "progress", Workload: name, Stage: "checkpoint", Done: i + 1, Total: len(spec.Workloads)})
 	}
 	return out, nil
 }

@@ -20,9 +20,10 @@ import (
 
 // Job kinds.
 const (
-	KindSuite     = "suite"     // harness.RunSuiteContext over named workloads
-	KindBreakEven = "breakeven" // harness.BreakEvenContext sweep per workload
-	KindDifftest  = "difftest"  // differential oracle over a seed range
+	KindSuite      = "suite"      // harness.RunSuiteContext over named workloads
+	KindBreakEven  = "breakeven"  // harness.BreakEvenContext sweep per workload
+	KindDifftest   = "difftest"   // differential oracle over a seed range
+	KindCheckpoint = "checkpoint" // harness.RunCheckpoint size/energy/restart rows
 )
 
 // JobSpec is the wire format of POST /v1/jobs. Zero fields take defaults
@@ -50,6 +51,9 @@ type JobSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Seeds is the number of consecutive difftest seeds (default 100).
 	Seeds int `json:"seeds,omitempty"`
+	// CkptInterval is the checkpoint period in dynamic instructions for
+	// checkpoint jobs (0 = derive ~1/8 of each workload's run).
+	CkptInterval uint64 `json:"ckpt_interval,omitempty"`
 	// TimeoutMS is the job deadline measured from submission; 0 means no
 	// deadline. Excluded from the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -65,9 +69,10 @@ const maxDifftestSeeds = 100_000
 // the same key.
 func (s JobSpec) Normalize() (JobSpec, error) {
 	switch s.Kind {
-	case KindSuite, KindBreakEven, KindDifftest:
+	case KindSuite, KindBreakEven, KindDifftest, KindCheckpoint:
 	default:
-		return s, fmt.Errorf("kind must be %q, %q, or %q; got %q", KindSuite, KindBreakEven, KindDifftest, s.Kind)
+		return s, fmt.Errorf("kind must be %q, %q, %q, or %q; got %q",
+			KindSuite, KindBreakEven, KindDifftest, KindCheckpoint, s.Kind)
 	}
 	if s.Scale == 0 {
 		s.Scale = 1.0
@@ -80,7 +85,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 
 	switch s.Kind {
-	case KindSuite, KindBreakEven:
+	case KindSuite, KindBreakEven, KindCheckpoint:
 		if len(s.Workloads) == 0 {
 			for _, w := range workloads.Responsive() {
 				s.Workloads = append(s.Workloads, w.Name)
@@ -120,7 +125,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 				}
 			}
 		}
-		s.MaxR, s.Seed, s.Seeds = 0, 0, 0
+		s.MaxR, s.Seed, s.Seeds, s.CkptInterval = 0, 0, 0, 0
 	case KindBreakEven:
 		if s.MaxR == 0 {
 			s.MaxR = 200
@@ -128,7 +133,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.MaxR <= 1 {
 			return s, fmt.Errorf("max_r must exceed 1, got %g", s.MaxR)
 		}
-		s.Policies, s.Seed, s.Seeds = nil, 0, 0
+		s.Policies, s.Seed, s.Seeds, s.CkptInterval = nil, 0, 0, 0
+	case KindCheckpoint:
+		s.Policies, s.MaxR, s.Seed, s.Seeds = nil, 0, 0, 0
 	case KindDifftest:
 		if s.Seed == 0 {
 			s.Seed = 1
@@ -139,7 +146,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.Seeds < 1 || s.Seeds > maxDifftestSeeds {
 			return s, fmt.Errorf("seeds must be in [1, %d], got %d", maxDifftestSeeds, s.Seeds)
 		}
-		s.Workloads, s.Policies, s.MaxR = nil, nil, 0
+		s.Workloads, s.Policies, s.MaxR, s.CkptInterval = nil, nil, 0, 0
 	}
 	return s, nil
 }

@@ -54,6 +54,13 @@ func TestKeySensitivity(t *testing.T) {
 			t.Errorf("%s: expected a different key for %s", name, raw)
 		}
 	}
+	// The checkpoint period is execution-affecting, so it must fragment the
+	// cache within the checkpoint kind.
+	a := normKey(t, `{"kind":"checkpoint","workloads":["is"],"scale":0.5}`)
+	b := normKey(t, `{"kind":"checkpoint","workloads":["is"],"scale":0.5,"ckpt_interval":5000}`)
+	if a == b {
+		t.Error("ckpt_interval did not change the checkpoint key")
+	}
 }
 
 func TestNormalizeDefaults(t *testing.T) {
@@ -86,6 +93,20 @@ func TestNormalizeDefaults(t *testing.T) {
 	if be.MaxR != 200 {
 		t.Errorf("breakeven MaxR default = %g, want 200", be.MaxR)
 	}
+
+	ck, err := JobSpec{Kind: KindCheckpoint}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize checkpoint: %v", err)
+	}
+	if len(ck.Workloads) == 0 {
+		t.Errorf("checkpoint Workloads default empty, want responsive suite")
+	}
+	if ck.CkptInterval != 0 {
+		t.Errorf("checkpoint CkptInterval = %d, want 0 (derived per workload)", ck.CkptInterval)
+	}
+	if ck.Policies != nil || ck.MaxR != 0 || ck.Seed != 0 || ck.Seeds != 0 {
+		t.Errorf("checkpoint kind kept irrelevant fields: %+v", ck)
+	}
 }
 
 func TestNormalizeRejects(t *testing.T) {
@@ -98,6 +119,7 @@ func TestNormalizeRejects(t *testing.T) {
 		{Kind: KindBreakEven, MaxR: 0.5},
 		{Kind: KindDifftest, Seeds: maxDifftestSeeds + 1},
 		{Kind: KindDifftest, Seeds: -2},
+		{Kind: KindCheckpoint, Workloads: []string{"no-such-benchmark"}},
 	}
 	for _, spec := range cases {
 		if _, err := spec.Normalize(); err == nil {

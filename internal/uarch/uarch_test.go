@@ -124,3 +124,112 @@ func TestDefaultConfigSanity(t *testing.T) {
 		t.Errorf("default sizing below the paper's floors: %+v", cfg)
 	}
 }
+
+// TestHistWriteOverflowTable sweeps capacity edges the lifecycle test does
+// not: a zero-capacity table, filling exactly to capacity, updates at
+// capacity, and re-use of space freed by Invalidate. Counters must agree
+// with the accepted/rejected split.
+func TestHistWriteOverflowTable(t *testing.T) {
+	type op struct {
+		id         int
+		invalidate bool
+		wantOK     bool
+	}
+	cases := []struct {
+		name        string
+		capacity    int
+		ops         []op
+		wantWrites  uint64
+		wantFailed  uint64
+		wantUsed    int
+		wantMaxUsed int
+	}{
+		{
+			name:       "zero capacity rejects everything",
+			capacity:   0,
+			ops:        []op{{id: 1}, {id: 2}, {id: 1}},
+			wantFailed: 3,
+		},
+		{
+			name:     "fill exactly to capacity",
+			capacity: 3,
+			ops: []op{
+				{id: 1, wantOK: true}, {id: 2, wantOK: true}, {id: 3, wantOK: true},
+				{id: 4}, // full, new ID
+			},
+			wantWrites: 3, wantFailed: 1, wantUsed: 3, wantMaxUsed: 3,
+		},
+		{
+			name:     "updates never count as allocation",
+			capacity: 1,
+			ops: []op{
+				{id: 7, wantOK: true},
+				{id: 7, wantOK: true}, {id: 7, wantOK: true}, // updates at capacity
+				{id: 8}, // new ID still rejected
+			},
+			wantWrites: 3, wantFailed: 1, wantUsed: 1, wantMaxUsed: 1,
+		},
+		{
+			name:     "invalidate frees space for a new ID",
+			capacity: 2,
+			ops: []op{
+				{id: 1, wantOK: true}, {id: 2, wantOK: true},
+				{id: 3}, // full
+				{id: 1, invalidate: true},
+				{id: 3, wantOK: true}, // freed slot re-used
+			},
+			wantWrites: 3, wantFailed: 1, wantUsed: 2, wantMaxUsed: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHist(tc.capacity)
+			for i, o := range tc.ops {
+				if o.invalidate {
+					h.Invalidate(o.id)
+					continue
+				}
+				if ok := h.Write(o.id, [3]uint64{uint64(i)}, 1); ok != o.wantOK {
+					t.Fatalf("op %d: Write(%d) = %v, want %v", i, o.id, ok, o.wantOK)
+				}
+			}
+			if h.Writes != tc.wantWrites || h.FailedWrites != tc.wantFailed {
+				t.Errorf("writes/failed = %d/%d, want %d/%d", h.Writes, h.FailedWrites, tc.wantWrites, tc.wantFailed)
+			}
+			if h.Used() != tc.wantUsed || h.MaxUsed != tc.wantMaxUsed {
+				t.Errorf("used/max = %d/%d, want %d/%d", h.Used(), h.MaxUsed, tc.wantUsed, tc.wantMaxUsed)
+			}
+		})
+	}
+}
+
+// TestHistMaskTable sweeps every 3-bit operand mask: Read must expose
+// exactly the masked slots, and an update's mask fully replaces the old one
+// (stale slots must not leak through).
+func TestHistMaskTable(t *testing.T) {
+	vals := [3]uint64{0xa, 0xb, 0xc}
+	for mask := uint8(0); mask < 8; mask++ {
+		h := NewHist(4)
+		if !h.Write(1, vals, mask) {
+			t.Fatalf("mask %03b: write failed", mask)
+		}
+		for slot := 0; slot < 3; slot++ {
+			v, ok := h.Read(1, slot)
+			if want := mask&(1<<uint(slot)) != 0; ok != want {
+				t.Errorf("mask %03b slot %d: ok = %v, want %v", mask, slot, ok, want)
+			} else if ok && v != vals[slot] {
+				t.Errorf("mask %03b slot %d: v = %#x, want %#x", mask, slot, v, vals[slot])
+			}
+		}
+		// Update with the complement mask: previously-valid slots must vanish.
+		comp := ^mask & 0b111
+		if !h.Write(1, vals, comp) {
+			t.Fatalf("mask %03b: update failed", comp)
+		}
+		for slot := 0; slot < 3; slot++ {
+			if _, ok := h.Read(1, slot); ok != (comp&(1<<uint(slot)) != 0) {
+				t.Errorf("after update to %03b, slot %d ok = %v", comp, slot, ok)
+			}
+		}
+	}
+}
