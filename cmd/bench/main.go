@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/compiler"
 	"github.com/amnesiac-sim/amnesiac/internal/cpu"
 	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
 	"github.com/amnesiac-sim/amnesiac/internal/mem"
 	"github.com/amnesiac-sim/amnesiac/internal/policy"
 	"github.com/amnesiac-sim/amnesiac/internal/pprofutil"
@@ -73,6 +75,27 @@ type WorkloadResult struct {
 	Modes map[string]ModeResult `json:"modes"`
 }
 
+// FanoutResult is the -fanout section: many small jobs served from shared
+// sealed images through warm lanes (the daemon's serving shape), plus the
+// fork-vs-clone snapshot cost that makes it cheap. Allocation figures are
+// per snapshot operation, averaged over the measured workloads.
+type FanoutResult struct {
+	Rounds           int     `json:"rounds"`
+	Lanes            int     `json:"lanes"`
+	Workloads        int     `json:"workloads"`
+	Jobs             int     `json:"jobs"`
+	WallNS           int64   `json:"wall_ns"`
+	JobsPerSec       float64 `json:"jobs_per_sec"`
+	CloneAllocsPerOp float64 `json:"clone_allocs_per_op"`
+	CloneBytesPerOp  float64 `json:"clone_bytes_per_op"`
+	ForkAllocsPerOp  float64 `json:"fork_allocs_per_op"`
+	ForkBytesPerOp   float64 `json:"fork_bytes_per_op"`
+	// Clone cost over fork cost; the COW fan-out design demands >= 10x on
+	// both axes, and bench exits 1 when a run measures less.
+	AllocRatio float64 `json:"clone_to_fork_alloc_ratio"`
+	ByteRatio  float64 `json:"clone_to_fork_byte_ratio"`
+}
+
 // Report is the BENCH_interp.json schema.
 type Report struct {
 	Scale     float64               `json:"scale"`
@@ -83,6 +106,7 @@ type Report struct {
 	GOARCH    string                `json:"goarch"`
 	Workloads []WorkloadResult      `json:"workloads"`
 	Totals    map[string]ModeResult `json:"totals"`
+	Fanout    *FanoutResult         `json:"fanout,omitempty"`
 }
 
 func mips(instrs uint64, wall time.Duration) float64 {
@@ -195,6 +219,67 @@ func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, w
 	return out, nil
 }
 
+// allocStats measures per-operation heap allocations and bytes for f. The
+// results are kept live until the second memstats read, so escape analysis
+// cannot stack-allocate the snapshot being measured.
+func allocStats(n int, f func() *mem.Memory) (allocs, bytes float64) {
+	keep := make([]*mem.Memory, n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		keep[i] = f()
+	}
+	runtime.ReadMemStats(&after)
+	for i := range keep {
+		keep[i] = nil
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(n),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+}
+
+// measureFanout runs rounds copies of the (workload × policy) grid through
+// the harness's lane-batched fan-out runner — every job forked from its
+// workload's shared sealed image — and measures the fork-vs-clone snapshot
+// cost over the same initial images.
+func measureFanout(ws []*workloads.Workload, scale float64, maxInstrs uint64, rounds, lanes int) (*FanoutResult, error) {
+	cfg := harness.DefaultConfig()
+	cfg.Scale = scale
+	cfg.MaxInstrs = maxInstrs
+	cfg.Workers = lanes
+	cfg.Cache = harness.NewArtifactCache()
+	st, err := harness.RunFanOut(context.Background(), cfg, ws, rounds)
+	if err != nil {
+		return nil, err
+	}
+	out := &FanoutResult{
+		Rounds:     rounds,
+		Lanes:      st.Lanes,
+		Workloads:  st.Prepared,
+		Jobs:       st.Jobs,
+		WallNS:     st.Elapsed.Nanoseconds(),
+		JobsPerSec: st.JobsPerSec,
+	}
+	const ops = 16
+	for _, w := range ws {
+		_, initial := w.Build(scale)
+		img := initial.Seal()
+		ca, cb := allocStats(ops, func() *mem.Memory { return img.Mem().Clone() })
+		fa, fb := allocStats(ops, img.Fork)
+		out.CloneAllocsPerOp += ca / float64(len(ws))
+		out.CloneBytesPerOp += cb / float64(len(ws))
+		out.ForkAllocsPerOp += fa / float64(len(ws))
+		out.ForkBytesPerOp += fb / float64(len(ws))
+	}
+	if out.ForkAllocsPerOp > 0 {
+		out.AllocRatio = out.CloneAllocsPerOp / out.ForkAllocsPerOp
+	}
+	if out.ForkBytesPerOp > 0 {
+		out.ByteRatio = out.CloneBytesPerOp / out.ForkBytesPerOp
+	}
+	return out, nil
+}
+
 // validate checks an existing report for structural sanity; CI uses it to
 // assert the bench-smoke artifact is well formed.
 func validate(path string) error {
@@ -209,8 +294,24 @@ func validate(path string) error {
 	if len(rep.Workloads) == 0 {
 		return fmt.Errorf("%s: no workloads", path)
 	}
+	// A report may cover a subset of modes (e.g. -modes "" -fanout records
+	// only the fan-out section). Validate the modes that were measured and
+	// require that every workload has all of them; a report with neither
+	// mode measurements nor a fanout section is empty.
+	measured := make(map[string]bool)
+	for _, wr := range rep.Workloads {
+		for m := range wr.Modes {
+			measured[m] = true
+		}
+	}
+	if len(measured) == 0 && rep.Fanout == nil {
+		return fmt.Errorf("%s: no measurements (no modes, no fanout section)", path)
+	}
 	for _, wr := range rep.Workloads {
 		for _, mode := range modes {
+			if !measured[mode] {
+				continue
+			}
 			mr, ok := wr.Modes[mode]
 			if !ok {
 				return fmt.Errorf("%s: %s missing mode %q", path, wr.Name, mode)
@@ -224,8 +325,16 @@ func validate(path string) error {
 		}
 	}
 	for _, mode := range modes {
-		if rep.Totals[mode].Instrs == 0 {
+		if measured[mode] && rep.Totals[mode].Instrs == 0 {
 			return fmt.Errorf("%s: totals missing mode %q", path, mode)
+		}
+	}
+	if f := rep.Fanout; f != nil {
+		if f.Jobs == 0 || f.WallNS <= 0 || f.JobsPerSec <= 0 {
+			return fmt.Errorf("%s: fanout has degenerate measurement %+v", path, f)
+		}
+		if f.ForkAllocsPerOp <= 0 || f.CloneAllocsPerOp <= 0 || f.AllocRatio < 1 || f.ByteRatio < 1 {
+			return fmt.Errorf("%s: fanout snapshot-cost figures are degenerate %+v", path, f)
 		}
 	}
 	return nil
@@ -245,6 +354,8 @@ func main() {
 		compareRun = flag.Bool("compare", false, "compare two report files (bench -compare old.json new.json) and exit")
 		regress    = flag.Float64("regress", 0.10, "with -compare, max tolerated fractional MIPS regression per (workload, mode)")
 		noTrace    = flag.Bool("notrace", false, "disable the classic core's trace engine (measure the pure interpreter)")
+		fanout     = flag.Int("fanout", 0, "rounds of the (workload x policy) grid to serve through the warm fan-out runner (0 = off)")
+		fanLanes   = flag.Int("fanoutlanes", 0, "fan-out worker lanes (0 = GOMAXPROCS)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -293,10 +404,14 @@ func main() {
 		switch m {
 		case "classic", "profiled", "amnesic":
 			want[m] = true
+		case "": // -modes "" measures nothing but -fanout
 		default:
 			fmt.Fprintf(os.Stderr, "bench: unknown mode %q\n", m)
 			os.Exit(2)
 		}
+	}
+	if *fanout > 0 {
+		want["fanout"] = true
 	}
 	floors, err := parseFloors(*floorFlag, want)
 	if err != nil {
@@ -361,6 +476,15 @@ func main() {
 				time.Duration(totalWorst[mode]), time.Duration(totalMedian[mode]))
 		}
 	}
+	if *fanout > 0 {
+		fmt.Fprintf(os.Stderr, "bench: fan-out, %d rounds over %d workloads...\n", *fanout, len(ws))
+		fr, err := measureFanout(ws, *scale, uint64(*maxInstr), *fanout, *fanLanes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		rep.Fanout = fr
+	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -391,6 +515,30 @@ func main() {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "bench: %s aggregate %.1f MIPS meets floor %.1f MIPS\n", mode, got, floor)
+		}
+	}
+	if f := rep.Fanout; f != nil {
+		fmt.Fprintf(os.Stderr, "bench: fan-out %.1f jobs/s (%d jobs, %d lanes); snapshot clone/fork: %.0fx allocs, %.0fx bytes\n",
+			f.JobsPerSec, f.Jobs, f.Lanes, f.AllocRatio, f.ByteRatio)
+		// The COW design contract on real workload images: forking must move
+		// at least an order of magnitude fewer bytes than cloning, and never
+		// more allocations. (The >=10x bound on allocation *count* is gated
+		// in internal/mem's TestForkTenTimesCheaperThanClone over a fixture
+		// with enough regions and pages for the count to be meaningful; a
+		// real image cloned as one arena slab is only a few allocations
+		// total, so a count ratio here would gate on noise.)
+		if f.ByteRatio < 10 || f.ForkAllocsPerOp > f.CloneAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: fork snapshots are not cheap (allocs %.1fx, bytes %.1fx)\n",
+				f.AllocRatio, f.ByteRatio)
+			failed = true
+		}
+		if floor, ok := floors["fanout"]; ok {
+			if f.JobsPerSec < floor {
+				fmt.Fprintf(os.Stderr, "bench: FAIL: fan-out %.1f jobs/s below floor %.1f\n", f.JobsPerSec, floor)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "bench: fan-out %.1f jobs/s meets floor %.1f\n", f.JobsPerSec, floor)
+			}
 		}
 	}
 	if failed {
@@ -501,13 +649,15 @@ func parseFloors(spec string, want map[string]bool) (map[string]float64, error) 
 		}
 		mode = strings.TrimSpace(mode)
 		switch mode {
-		case "classic", "profiled", "amnesic":
+		case "classic", "profiled", "amnesic", "fanout":
 		default:
 			return nil, fmt.Errorf("invalid -floor mode %q", mode)
 		}
 		if !want[mode] {
-			return nil, fmt.Errorf("-floor mode %q is not being measured (see -modes)", mode)
+			return nil, fmt.Errorf("-floor mode %q is not being measured (see -modes / -fanout)", mode)
 		}
+		// The fanout floor is jobs/sec rather than MIPS, but the syntax and
+		// positivity rule are shared.
 		mips, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
 		if err != nil || mips <= 0 {
 			return nil, fmt.Errorf("invalid -floor value %q for mode %s", val, mode)

@@ -93,7 +93,27 @@ type RunResult struct {
 // retained as the read-only base image and must not be mutated while the
 // engine lives.
 func NewEngine(model *energy.Model, prog *isa.Program, initial *mem.Memory, ann *compiler.Annotated, prof *profile.Profile, cfg Config) (*Engine, error) {
-	if model == nil || prog == nil || initial == nil || prof == nil {
+	if initial == nil {
+		return nil, errors.New("ckpt: model, program, initial memory and profile are required")
+	}
+	return newEngine(model, prog, initial, initial.Clone(), ann, prof, cfg)
+}
+
+// NewEngineImage is NewEngine over a sealed prepared image: the sealed
+// memory serves as the read-only base (slice recipes and untouched-word
+// elision read it directly) and the live machine state is a copy-on-write
+// fork, so constructing an engine copies nothing. The fork holds a
+// reference on img for the engine's lifetime; checkpoint payloads and
+// restart behavior are identical to a clone-based engine.
+func NewEngineImage(model *energy.Model, prog *isa.Program, img *mem.Image, ann *compiler.Annotated, prof *profile.Profile, cfg Config) (*Engine, error) {
+	if img == nil {
+		return nil, errors.New("ckpt: model, program, image and profile are required")
+	}
+	return newEngine(model, prog, img.Mem(), img.Fork(), ann, prof, cfg)
+}
+
+func newEngine(model *energy.Model, prog *isa.Program, base, live *mem.Memory, ann *compiler.Annotated, prof *profile.Profile, cfg Config) (*Engine, error) {
+	if model == nil || prog == nil || prof == nil {
 		return nil, errors.New("ckpt: model, program, initial memory and profile are required")
 	}
 	if err := prog.Validate(); err != nil {
@@ -109,10 +129,10 @@ func NewEngine(model *energy.Model, prog *isa.Program, initial *mem.Memory, ann 
 		cfg:      cfg,
 		model:    model,
 		prog:     prog,
-		base:     initial,
+		base:     base,
 		written:  prof.WrittenWords(),
 		interval: cfg.Interval,
-		mem:      initial.Clone(),
+		mem:      live,
 		hier:     mem.NewDefaultHierarchy(),
 	}
 	if e.interval == 0 {

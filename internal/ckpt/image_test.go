@@ -1,0 +1,107 @@
+package ckpt
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/energy"
+	"github.com/amnesiac-sim/amnesiac/internal/gen"
+)
+
+// TestEngineImageMatchesClone: an engine built over a sealed image (live
+// state forked, base read shared) must be indistinguishable from the
+// clone-based engine — same checkpoint payloads word for word, same stats,
+// and a crash/restart cycle that still splices bit-identically onto the
+// uninterrupted reference — while the sealed base stays pristine.
+func TestEngineImageMatchesClone(t *testing.T) {
+	model := energy.Default()
+	for seed := int64(1); seed <= 3; seed++ {
+		prog, initial, err := gen.Generate(seed, gen.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref := runReference(t, model, prog, initial)
+		prof, ann := prepare(t, model, prog, initial)
+		img := initial.Clone().Seal()
+		pristine := img.Mem().Clone()
+		interval := ref.acct.Instrs/5 + 1
+		crash := ref.acct.Instrs * 3 / 5
+		if crash == 0 {
+			crash = 1
+		}
+		for _, pol := range []Policy{PolicyFull, PolicyRecomp} {
+			cfg := Config{Policy: pol, Interval: interval, KeepAll: true, CrashAt: crash}
+			cloneE, err := NewEngine(model, prog, initial, ann, prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgE, err := NewEngineImage(model, prog, img, ann, prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cRes, err := cloneE.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			iRes, err := imgE.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cRes.Crashed || !iRes.Crashed {
+				t.Fatalf("seed %d %v: expected crashes, got %+v / %+v", seed, pol, cRes, iRes)
+			}
+			if imgE.Stats != cloneE.Stats {
+				t.Errorf("seed %d %v: stats diverge:\n  clone: %+v\n  image: %+v", seed, pol, cloneE.Stats, imgE.Stats)
+			}
+			if len(imgE.Checkpoints) != len(cloneE.Checkpoints) {
+				t.Fatalf("seed %d %v: %d checkpoints vs %d", seed, pol, len(imgE.Checkpoints), len(cloneE.Checkpoints))
+			}
+			for k := range imgE.Checkpoints {
+				ic, cc := imgE.Checkpoints[k], cloneE.Checkpoints[k]
+				if ic.PayloadWords() != cc.PayloadWords() {
+					t.Errorf("seed %d %v ckpt %d: payload %d words vs %d", seed, pol, k, ic.PayloadWords(), cc.PayloadWords())
+				}
+				if len(ic.Saved) != len(cc.Saved) || len(ic.Omitted) != len(cc.Omitted) {
+					t.Fatalf("seed %d %v ckpt %d: saved/omitted %d/%d vs %d/%d",
+						seed, pol, k, len(ic.Saved), len(ic.Omitted), len(cc.Saved), len(cc.Omitted))
+				}
+				for j := range ic.Saved {
+					if ic.Saved[j] != cc.Saved[j] {
+						t.Fatalf("seed %d %v ckpt %d: saved word %d = %+v vs %+v", seed, pol, k, j, ic.Saved[j], cc.Saved[j])
+					}
+				}
+			}
+
+			// Restart from the image-based engine's surviving checkpoint on a
+			// fresh image-based engine and verify the splice.
+			ck := imgE.Checkpoints[len(imgE.Checkpoints)-1]
+			prefix := ref.stores[:ck.Stores]
+			var suffix []storeEvent
+			resumed, err := NewEngineImage(model, prog, img, ann, prof, Config{
+				Policy: pol, Interval: interval,
+				StoreHook: func(a, v uint64) { suffix = append(suffix, storeEvent{a, v}) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rRes, err := resumed.Restart(ck)
+			if err != nil {
+				t.Fatalf("seed %d %v: restart: %v", seed, pol, err)
+			}
+			checkAgainstReference(t, "image/"+pol.String(), ref, rRes, resumed.Mem(), suffix, prefix)
+			if !resumed.Mem().Forked() {
+				t.Fatalf("seed %d %v: image engine is not running on a fork", seed, pol)
+			}
+		}
+		if !img.Mem().Equal(pristine) {
+			t.Fatalf("seed %d: checkpointed runs mutated the sealed base at %#x", seed, img.Mem().Diff(pristine, 4))
+		}
+	}
+}
+
+func TestNewEngineImageNil(t *testing.T) {
+	prog, initial := recompProgram(t)
+	prof, ann := prepare(t, energy.Default(), prog, initial)
+	if _, err := NewEngineImage(energy.Default(), prog, nil, ann, prof, Config{}); err == nil {
+		t.Fatal("nil image accepted")
+	}
+}

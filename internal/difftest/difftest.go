@@ -68,6 +68,14 @@ type Options struct {
 	// Check call regardless of this flag (it is cheap); TraceForce roughly
 	// doubles amnesic work, so the stress job opts in via -difftest.trace.
 	TraceForce bool
+	// CowForce additionally reruns the classic core and every amnesic
+	// policy on a copy-on-write fork of the sealed initial image and
+	// demands the forked run match the cloned one bit-for-bit — registers,
+	// memory, store stream, and the full energy account — with the sealed
+	// base image left pristine and every fork reference released. It is
+	// the COW parity oracle: any write-barrier or overlay bug shows up as
+	// a divergence. Roughly doubles work, so CI opts in via -difftest.cow.
+	CowForce bool
 }
 
 // DefaultOptions returns the configuration the test suite and CI use.
@@ -221,6 +229,30 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 			accountDiff(&traced.Acct, &core.Acct))
 	}
 
+	// COW parity: the same classic run on a fork of the sealed image must
+	// be indistinguishable from the clone-based run above.
+	var img *mem.Image
+	if opts.CowForce {
+		img = initial.Clone().Seal()
+		cow := cpu.New(opts.Model, mem.NewDefaultHierarchy(), img.Fork())
+		cow.MaxInstrs = opts.MaxInstrs
+		var cowStores []StoreEvent
+		cow.StoreHook = func(addr, val uint64) {
+			cowStores = append(cowStores, StoreEvent{addr, val})
+		}
+		if err := cow.Run(prog); err != nil {
+			return diverge("classic cow", "cloned run halted but forked run failed: %v", err)
+		}
+		if d := compareState("classic cow", "flat-memory replay", ref, cow.Regs, cow.Mem, cowStores, prog, initial); d != nil {
+			return d
+		}
+		if cow.Acct != core.Acct {
+			return diverge("classic cow", "forked energy account differs from cloned: %s",
+				accountDiff(&cow.Acct, &core.Acct))
+		}
+		cow.Mem.Release()
+	}
+
 	prof, err := profile.Collect(opts.Model, prog, initial)
 	if err != nil {
 		return diverge("profile", "profiling a program the reference executed cleanly failed: %v", err)
@@ -261,6 +293,43 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 			return diverge("policy "+label, "RCMP accounting: %d total != %d recomputed + %d loaded",
 				st.RcmpTotal, st.RcmpRecomputed, st.RcmpLoaded)
 		}
+		if opts.CowForce {
+			// Same policy on a fork of the sealed image: architectural state,
+			// store stream, energy account, and runtime counters must match
+			// the clone-based machine bit for bit.
+			cm, err := amnesic.New(opts.Model, bin, img.Fork(), policy.New(kind), opts.Uarch)
+			if err != nil {
+				return diverge("policy "+label+" cow", "machine construction failed: %v", err)
+			}
+			cm.MaxInstrs = opts.MaxInstrs
+			cm.TamperRTN = opts.TamperRTN
+			var cowStores []StoreEvent
+			cm.StoreHook = func(addr, val uint64) {
+				cowStores = append(cowStores, StoreEvent{addr, val})
+			}
+			if err := cm.Run(); err != nil {
+				return diverge("policy "+label+" cow", "cloned run succeeded but forked run failed: %v", err)
+			}
+			if d := compareState("policy "+label+" cow", "classic baseline", ref, cm.Regs, cm.Mem, cowStores, prog, initial); d != nil {
+				return d
+			}
+			if len(cowStores) != len(stores) {
+				return diverge("policy "+label+" cow", "store stream has %d events, cloned has %d",
+					len(cowStores), len(stores))
+			}
+			if cm.Acct != m.Acct {
+				return diverge("policy "+label+" cow", "forked energy account differs from cloned: %s",
+					accountDiff(&cm.Acct, &m.Acct))
+			}
+			if cm.Stat.RcmpTotal != m.Stat.RcmpTotal || cm.Stat.RcmpRecomputed != m.Stat.RcmpRecomputed ||
+				cm.Stat.RecExecuted != m.Stat.RecExecuted || cm.Stat.NOPsSkipped != m.Stat.NOPsSkipped {
+				return diverge("policy "+label+" cow",
+					"runtime counters diverge: rcmp %d/%d recomputed %d/%d rec %d/%d nops %d/%d (forked/cloned)",
+					cm.Stat.RcmpTotal, m.Stat.RcmpTotal, cm.Stat.RcmpRecomputed, m.Stat.RcmpRecomputed,
+					cm.Stat.RecExecuted, m.Stat.RecExecuted, cm.Stat.NOPsSkipped, m.Stat.NOPsSkipped)
+			}
+			cm.Mem.Release()
+		}
 		if !opts.TraceForce {
 			continue
 		}
@@ -298,6 +367,15 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 				"runtime counters diverge: rcmp %d/%d recomputed %d/%d rec %d/%d nops %d/%d (traced/untraced)",
 				tm.Stat.RcmpTotal, m.Stat.RcmpTotal, tm.Stat.RcmpRecomputed, m.Stat.RcmpRecomputed,
 				tm.Stat.RecExecuted, m.Stat.RecExecuted, tm.Stat.NOPsSkipped, m.Stat.NOPsSkipped)
+		}
+	}
+	if img != nil {
+		if !img.Mem().Equal(initial) {
+			return diverge("cow base", "forked runs mutated the sealed base image at words %v",
+				img.Mem().Diff(initial, 4))
+		}
+		if refs := img.Refs(); refs != 1 {
+			return diverge("cow base", "image holds %d references after all forks released, want 1", refs)
 		}
 	}
 	return nil

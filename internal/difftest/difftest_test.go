@@ -19,6 +19,8 @@ var (
 		"number of generator seeds TestDiffOracle checks")
 	traceFlag = flag.Bool("difftest.trace", false,
 		"force trace reuse on (threshold 1) for the amnesic policies too, asserting traced == untraced bit-for-bit")
+	cowFlag = flag.Bool("difftest.cow", false,
+		"rerun the classic core and every amnesic policy on a copy-on-write fork of the sealed image, asserting forked == cloned bit-for-bit")
 )
 
 // TestDiffOracle is the main oracle sweep: N seeded random programs, each
@@ -29,6 +31,7 @@ var (
 func TestDiffOracle(t *testing.T) {
 	opts := DefaultOptions()
 	opts.TraceForce = *traceFlag
+	opts.CowForce = *cowFlag
 	if *seedFlag >= 0 {
 		if err := CheckSeed(*seedFlag, opts); err != nil {
 			t.Fatalf("seed %d: %v", *seedFlag, err)
@@ -100,6 +103,23 @@ func TestTamperedRTNCaught(t *testing.T) {
 		return
 	}
 	t.Fatal("tampered RTN survived 200 seeds: the oracle is not sensitive to broken value copies")
+}
+
+// TestCowOracleSmoke always exercises the COW parity oracle on a handful
+// of seeds, so the write barrier stays covered even in runs that skip CI's
+// full -difftest.cow sweep.
+func TestCowOracleSmoke(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CowForce = true
+	n := int64(25)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := int64(0); seed < n; seed++ {
+		if err := CheckSeed(seed, opts); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
 }
 
 // TestShrinkMinimizes checks that the reported program for a tampered run

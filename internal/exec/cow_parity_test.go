@@ -1,0 +1,107 @@
+package exec_test
+
+import (
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/asm"
+	"github.com/amnesiac-sim/amnesiac/internal/isa"
+	"github.com/amnesiac-sim/amnesiac/internal/mem"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// storeWalkProgram stores a counter at 512-byte strides out to ~6 pages,
+// marching a forked view's stores past the base's one-page arena.
+func storeWalkProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := asm.Parse("storewalk", `
+    li   r2, 512       ; stride in bytes
+    li   r9, 100       ; trips: walks out to 51200 bytes, past one page
+loop:
+    mul  r3, r1, r2
+    st   r1, 8(r3)     ; offset keeps word 0 untouched
+    addi r1, r1, 1
+    blt  r1, r9, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestForkedViewMatchesClone runs every responsive workload twice — once on
+// a deep Clone of the initial image, once on a copy-on-write Fork of the
+// sealed image — under both pure interpretation and forced tracing, and
+// demands the runs be indistinguishable: bit-identical energy accounts,
+// registers, final pc, store streams, and final memory contents, with the
+// sealed base left pristine.
+func TestForkedViewMatchesClone(t *testing.T) {
+	for _, w := range workloads.Responsive() {
+		prog, initial := w.Build(0.02)
+		img := initial.Seal()
+		pristine := img.Mem().Clone()
+		for _, threshold := range []uint32{0, 1} {
+			cloned, cStores, cErr := runOnce(prog, pristine.Clone(), 0, threshold)
+			fork := img.Fork()
+			forked, fStores, fErr := runOnce(prog, fork, 0, threshold)
+			name := w.Name
+			if threshold != 0 {
+				name += "/traced"
+			}
+			if (cErr == nil) != (fErr == nil) || (cErr != nil && cErr.Error() != fErr.Error()) {
+				t.Fatalf("%s: error mismatch:\n  clone: %v\n  fork:  %v", name, cErr, fErr)
+			}
+			if forked.Acct != cloned.Acct {
+				t.Errorf("%s: energy accounts diverge:\n  clone: %+v\n  fork:  %+v", name, cloned.Acct, forked.Acct)
+			}
+			if forked.Regs != cloned.Regs {
+				t.Errorf("%s: registers diverge", name)
+			}
+			if forked.PC != cloned.PC {
+				t.Errorf("%s: final pc %d != %d", name, forked.PC, cloned.PC)
+			}
+			if len(fStores) != len(cStores) {
+				t.Fatalf("%s: store stream length %d != %d", name, len(fStores), len(cStores))
+			}
+			for i := range fStores {
+				if fStores[i] != cStores[i] {
+					t.Fatalf("%s: store %d diverges: %v != %v", name, i, fStores[i], cStores[i])
+				}
+			}
+			if !forked.Mem.Equal(cloned.Mem) {
+				t.Errorf("%s: final memories diverge at %#x", name, forked.Mem.Diff(cloned.Mem, 4))
+			}
+			if !img.Mem().Equal(pristine) {
+				t.Fatalf("%s: execution on a fork mutated the sealed base: %#x", name, img.Mem().Diff(pristine, 4))
+			}
+			fork.Release()
+		}
+		if img.Refs() != 1 {
+			t.Errorf("%s: image refs = %d after releases, want 1", w.Name, img.Refs())
+		}
+	}
+}
+
+// TestForkedViewWindowGrowth forces the store-beyond-window growth path on
+// a forked view inside the interpreter: the fork's private arena must grow
+// while the sealed base keeps its length and contents.
+func TestForkedViewWindowGrowth(t *testing.T) {
+	m := mem.NewMemory()
+	m.Store(0, 7)
+	img := m.Seal()
+	fork := img.Fork()
+	// A strided store loop that walks well past the base's one-page arena.
+	prog := storeWalkProgram(t)
+	if _, _, err := runOnce(prog, fork, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fork.Load(0) != 7 {
+		t.Error("fork lost base contents across growth")
+	}
+	if fork.Load(99*512+8) != 99 {
+		t.Error("fork lost its own store past the base window")
+	}
+	if img.Mem().Load(99*512+8) != 0 {
+		t.Error("fork growth leaked into the sealed base")
+	}
+}

@@ -208,8 +208,15 @@ func Run(env *Env, p *isa.Program) error {
 	// through that slow path, a window can never go stale while live here.
 	// The amnesic REC/RCMP handlers never store to memory, so the windows
 	// survive handler calls too.
-	arenaBase, arena := memory.ArenaView()
-	var w2base uint64
+	//
+	// arenaWN/w2WN are each window's writable-prefix length — mem's
+	// copy-on-write barrier. Loads keep bounding by len(window) (the read
+	// path is untouched); only the store fast path compares against the
+	// prefix, so the first store into a window shared with a sealed base
+	// image takes mem.Store's slow path, which copies the region and is
+	// followed here by a window re-fetch picking up the private copy.
+	arenaBase, arena, arenaWN := memory.ArenaViewW()
+	var w2base, w2WN uint64
 	var w2 []uint64
 
 	// Local accumulators; flushed at the exit point below and around Aux
@@ -292,13 +299,13 @@ loop:
 					loadNJ: loadNJ, storeNJ: storeNJ, nonMemNJ: nonMemNJ, fetchNJ: fetchNJ,
 					instrs: instrs, loads: loadCnt, stores: storeCnt,
 				}
-				mw := memWin{arenaBase: arenaBase, arena: arena, w2base: w2base, w2: w2}
+				mw := memWin{arenaBase: arenaBase, arena: arena, arenaWN: arenaWN, w2base: w2base, w2: w2, w2WN: w2WN}
 				ac, mw, pc, rerr = replayTrace(&rsh, tr, ac, mw)
 				energyNJ, timeNS = ac.energyNJ, ac.timeNS
 				loadNJ, storeNJ, nonMemNJ, fetchNJ = ac.loadNJ, ac.storeNJ, ac.nonMemNJ, ac.fetchNJ
 				instrs, loadCnt, storeCnt = ac.instrs, ac.loads, ac.stores
-				arenaBase, arena = mw.arenaBase, mw.arena
-				w2base, w2 = mw.w2base, mw.w2
+				arenaBase, arena, arenaWN = mw.arenaBase, mw.arena, mw.arenaWN
+				w2base, w2, w2WN = mw.w2base, mw.w2, mw.w2WN
 				eng.ReplayedInstrs += instrs - replayFrom
 				if rerr != nil {
 					break loop
@@ -436,7 +443,7 @@ loop:
 				v = w2[off]
 			} else {
 				v = memory.Load(addr)
-				w2base, w2, _ = memory.WindowFor(addr)
+				w2base, w2, w2WN, _ = memory.WindowForW(addr)
 			}
 			if dst := dsts[pc] & 31; dst != 0 {
 				regs[dst] = v
@@ -472,14 +479,14 @@ loop:
 			storeCnt++
 			byCat[isa.CatStore]++
 			v := regs[src2s[pc]&31]
-			if off := addr>>3 - arenaBase; off < uint64(len(arena)) {
+			if off := addr>>3 - arenaBase; off < arenaWN {
 				arena[off] = v
-			} else if off := addr>>3 - w2base; off < uint64(len(w2)) {
+			} else if off := addr>>3 - w2base; off < w2WN {
 				w2[off] = v
 			} else {
 				memory.Store(addr, v)
-				arenaBase, arena = memory.ArenaView()
-				w2base, w2, _ = memory.WindowFor(addr)
+				arenaBase, arena, arenaWN = memory.ArenaViewW()
+				w2base, w2, w2WN, _ = memory.WindowForW(addr)
 			}
 			if rsh.storeHook != nil {
 				rsh.storeHook(addr, v)

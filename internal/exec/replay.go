@@ -60,11 +60,15 @@ type acctState struct {
 
 // memWin is the two-entry flat-window data micro-TLB (see Run), threaded
 // through replay because stores may grow memory and re-anchor the windows.
+// arenaWN/w2WN are the writable-prefix lengths bounding the store fast
+// path — mem's copy-on-write barrier (see Run).
 type memWin struct {
 	arenaBase uint64
 	arena     []uint64
+	arenaWN   uint64
 	w2base    uint64
 	w2        []uint64
+	w2WN      uint64
 }
 
 // replayTrace executes tr from its head until a guard side-exits, the
@@ -305,7 +309,7 @@ chain:
 					v = mw.w2[off]
 				} else {
 					v = memory.Load(addr)
-					mw.w2base, mw.w2, _ = memory.WindowFor(addr)
+					mw.w2base, mw.w2, mw.w2WN, _ = memory.WindowForW(addr)
 				}
 				if dst := op.Dst & 31; dst != 0 {
 					regs[dst] = v
@@ -340,14 +344,14 @@ chain:
 				instrs++
 				catCnt[isa.CatStore]++
 				v := regs[op.Src2&31]
-				if off := addr>>3 - mw.arenaBase; off < uint64(len(mw.arena)) {
+				if off := addr>>3 - mw.arenaBase; off < mw.arenaWN {
 					mw.arena[off] = v
-				} else if off := addr>>3 - mw.w2base; off < uint64(len(mw.w2)) {
+				} else if off := addr>>3 - mw.w2base; off < mw.w2WN {
 					mw.w2[off] = v
 				} else {
 					memory.Store(addr, v)
-					mw.arenaBase, mw.arena = memory.ArenaView()
-					mw.w2base, mw.w2, _ = memory.WindowFor(addr)
+					mw.arenaBase, mw.arena, mw.arenaWN = memory.ArenaViewW()
+					mw.w2base, mw.w2, mw.w2WN, _ = memory.WindowForW(addr)
 				}
 				if storeHook != nil {
 					storeHook(addr, v)
@@ -501,7 +505,7 @@ chain:
 					v = mw.w2[off]
 				} else {
 					v = memory.Load(addr)
-					mw.w2base, mw.w2, _ = memory.WindowFor(addr)
+					mw.w2base, mw.w2, mw.w2WN, _ = memory.WindowForW(addr)
 				}
 				regs[op.Dst&31] = v // fusePair guarantees Dst != 0
 				// ALU half (second original instruction).
@@ -638,14 +642,14 @@ chain:
 				timeNS += ct.StoreLat
 				instrs++
 				catCnt[isa.CatStore]++
-				if off := addr>>3 - mw.arenaBase; off < uint64(len(mw.arena)) {
+				if off := addr>>3 - mw.arenaBase; off < mw.arenaWN {
 					mw.arena[off] = val
-				} else if off := addr>>3 - mw.w2base; off < uint64(len(mw.w2)) {
+				} else if off := addr>>3 - mw.w2base; off < mw.w2WN {
 					mw.w2[off] = val
 				} else {
 					memory.Store(addr, val)
-					mw.arenaBase, mw.arena = memory.ArenaView()
-					mw.w2base, mw.w2, _ = memory.WindowFor(addr)
+					mw.arenaBase, mw.arena, mw.arenaWN = memory.ArenaViewW()
+					mw.w2base, mw.w2, mw.w2WN, _ = memory.WindowForW(addr)
 				}
 				if storeHook != nil {
 					storeHook(addr, val)

@@ -1,0 +1,115 @@
+// Lane-batched fan-out runner. The daemon's serving shape is many small
+// jobs against few distinct workloads: the expensive prepare stage
+// (profile + two compiles + classic baseline) happens once per workload,
+// then every job is a policy simulation against the same prepared state.
+// RunFanOut models exactly that: it prepares each workload once, seals the
+// initial memory into a shared image, and drives rounds × (workload ×
+// policy) simulation jobs through cfg.Workers warm lanes. Each lane pulls
+// jobs off a shared cursor and runs them back to back; every job executes
+// on a copy-on-write fork of its workload's sealed image, so the steady
+// state performs zero full-image copies. cmd/bench -fanout measures this
+// path (jobs/sec) and gates it in CI.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+// FanOutStats summarizes one fan-out run.
+type FanOutStats struct {
+	Jobs       int           // completed policy simulations
+	Lanes      int           // worker lanes used
+	Prepared   int           // distinct prepared images shared across jobs
+	Elapsed    time.Duration // wall time of the simulation phase (prepare excluded)
+	JobsPerSec float64
+}
+
+// RunFanOut prepares each workload once and then runs rounds copies of the
+// (workload × policy) grid as independent jobs over cfg.Workers lanes.
+// Every job forks the shared sealed image of its workload; no job clones
+// memory. Repeated rounds of the same (workload, policy) cell must be
+// deep-equal — any divergence (a fork observing another fork's writes)
+// fails the run, which doubles as a continuous COW-isolation check on the
+// serving path. rounds must be >= 1.
+func RunFanOut(ctx context.Context, cfg Config, ws []*workloads.Workload, rounds int) (*FanOutStats, error) {
+	cfg = cfg.withDefaults()
+	if rounds < 1 {
+		return nil, fmt.Errorf("harness: fan-out rounds must be >= 1, got %d", rounds)
+	}
+	labels, err := cfg.policyLabels()
+	if err != nil {
+		return nil, err
+	}
+	cache := cfg.cache()
+	arts := make([]*Artifacts, len(ws))
+	for i, w := range ws {
+		if arts[i], err = cache.get(cfg, w); err != nil {
+			return nil, err
+		}
+	}
+
+	grid := len(ws) * len(labels)
+	total := rounds * grid
+	lanes := cfg.workerCount()
+	var cursor, completed atomic.Int64
+	var errs errSet
+	var mu sync.Mutex
+	golden := make([]*PolicyRun, grid) // first completed run per cell
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(cursor.Add(1)) - 1
+				if n >= total || ctx.Err() != nil || errs.first() != nil {
+					return
+				}
+				cell := n % grid
+				wIdx, pIdx := cell/len(labels), cell%len(labels)
+				art, label := arts[wIdx], labels[pIdx]
+				binary, k := policyBinary(art, label)
+				run, err := RunPolicy(cfg, binary, art.Image, art.Classic, art.Profile, k, label)
+				if err != nil {
+					errs.record(n+1, fmt.Errorf("harness: fan-out %s/%s: %w", ws[wIdx].Name, label, err))
+					return
+				}
+				mu.Lock()
+				if g := golden[cell]; g == nil {
+					golden[cell] = run
+				} else if !reflect.DeepEqual(g, run) {
+					errs.record(n+1, fmt.Errorf("harness: fan-out %s/%s: repeated run diverged from first (fork isolation broken)", ws[wIdx].Name, label))
+				}
+				mu.Unlock()
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: fan-out cancelled: %w", err)
+	}
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
+	st := &FanOutStats{
+		Jobs:     int(completed.Load()),
+		Lanes:    lanes,
+		Prepared: len(ws),
+		Elapsed:  elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		st.JobsPerSec = float64(st.Jobs) / s
+	}
+	return st, nil
+}

@@ -1,0 +1,99 @@
+package harness_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/workloads"
+)
+
+func fanoutWorkloads(t *testing.T, names ...string) []*workloads.Workload {
+	t.Helper()
+	ws := make([]*workloads.Workload, 0, len(names))
+	for _, name := range names {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestFanOut drives three rounds of the full grid through four lanes and
+// checks the accounting: every job completed, one prepared image per
+// workload, and all forks released (each image back to a single reference).
+// RunFanOut itself fails if any repeated run diverges from the first, so a
+// green run is also a COW-isolation check across concurrent lanes.
+func TestFanOut(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Cache = harness.NewArtifactCache()
+	ws := fanoutWorkloads(t, "is", "bfs")
+	const rounds = 3
+	st, err := harness.RunFanOut(context.Background(), cfg, ws, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rounds * len(ws) * len(harness.PolicyLabels)
+	if st.Jobs != want {
+		t.Errorf("completed %d jobs, want %d", st.Jobs, want)
+	}
+	if st.Prepared != len(ws) {
+		t.Errorf("prepared %d images, want %d", st.Prepared, len(ws))
+	}
+	if st.Lanes != 4 {
+		t.Errorf("ran on %d lanes, want 4", st.Lanes)
+	}
+	if st.JobsPerSec <= 0 {
+		t.Errorf("jobs/sec = %v, want > 0", st.JobsPerSec)
+	}
+	for _, w := range ws {
+		art, err := cfg.Cache.Get(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refs := art.Image.Refs(); refs != 1 {
+			t.Errorf("%s: image refs = %d after fan-out, want 1 (leaked forks)", w.Name, refs)
+		}
+	}
+}
+
+func TestFanOutRejectsZeroRounds(t *testing.T) {
+	if _, err := harness.RunFanOut(context.Background(), smallConfig(), nil, 0); err == nil {
+		t.Fatal("rounds=0 accepted")
+	}
+}
+
+// TestArtifactsInitialPristine locks in the scheduler fix: the prepare
+// stage no longer hands its only copy of the initial memory to the classic
+// baseline. After a full suite (classic + five policy runs), the cached
+// Artifacts.Initial must still equal a freshly built initial image, and it
+// must be sealed — writes through it panic rather than corrupting the
+// state every fork is derived from.
+func TestArtifactsInitialPristine(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cache = harness.NewArtifactCache()
+	w := fanoutWorkloads(t, "is")[0]
+	if _, err := harness.Run(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	art, err := cfg.Cache.Get(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fresh := w.Build(cfg.Scale)
+	if !art.Initial.Equal(fresh) {
+		t.Errorf("Artifacts.Initial diverged from a fresh build at %#x", art.Initial.Diff(fresh, 4))
+	}
+	if art.Initial != art.Image.Mem() {
+		t.Error("Artifacts.Initial is not the sealed image memory")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("store through sealed Artifacts.Initial did not panic")
+		}
+	}()
+	art.Initial.Store(0, 1)
+}

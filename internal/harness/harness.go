@@ -178,9 +178,14 @@ func Run(cfg Config, w *workloads.Workload) (*BenchResult, error) {
 	return res[0], nil
 }
 
-// RunPolicy executes one amnesic configuration and computes its gains.
-func RunPolicy(cfg Config, binary *compiler.Annotated, initial *mem.Memory, classic *cpu.Result, prof *profile.Profile, k policy.Kind, label string) (*PolicyRun, error) {
-	machine, err := amnesic.New(cfg.Model, binary, initial.Clone(), policy.New(k), cfg.UArch)
+// RunPolicy executes one amnesic configuration and computes its gains. The
+// run executes on a copy-on-write fork of the sealed prepared image — no
+// deep copy of the initial memory is made — and releases the fork before
+// returning.
+func RunPolicy(cfg Config, binary *compiler.Annotated, img *mem.Image, classic *cpu.Result, prof *profile.Profile, k policy.Kind, label string) (*PolicyRun, error) {
+	fm := img.Fork()
+	defer fm.Release()
+	machine, err := amnesic.New(cfg.Model, binary, fm, policy.New(k), cfg.UArch)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +304,7 @@ func RunSuiteContext(ctx context.Context, cfg Config, ws []*workloads.Workload) 
 				j, label := j, label
 				p.submit(func() {
 					binary, k := policyBinary(art, label)
-					run, err := RunPolicy(cfg, binary, art.Initial, art.Classic, art.Profile, k, label)
+					run, err := RunPolicy(cfg, binary, art.Image, art.Classic, art.Profile, k, label)
 					if err != nil {
 						errs.record(rank(i, j), fmt.Errorf("harness: %s/%s: %w", w.Name, label, err))
 						report(w.Name, label, true)
@@ -349,24 +354,29 @@ func BreakEvenContext(ctx context.Context, cfg Config, w *workloads.Workload, ma
 	if err != nil {
 		return 0, err
 	}
-	prog, initial, ann := art.Prog, art.Initial, art.Ann
+	prog, img, ann := art.Prog, art.Image, art.Ann
 	if len(ann.Slices) == 0 {
 		return 0, fmt.Errorf("harness: %s: no slices to sweep", w.Name)
 	}
 
 	// gainAt clones the model per probe (decisions stay frozen at base),
-	// so concurrent probes never share mutable state.
+	// so concurrent probes never share mutable state; both executions fork
+	// the shared prepared image instead of deep-copying it.
 	gainAt := func(factor float64) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("harness: break-even sweep cancelled: %w", err)
 		}
 		m := base.Clone()
 		m.RScale = factor
-		classic, err := cpu.RunProgramLimit(m, prog, initial.Clone(), cfg.MaxInstrs)
+		cm := img.Fork()
+		classic, err := cpu.RunProgramLimit(m, prog, cm, cfg.MaxInstrs)
+		cm.Release()
 		if err != nil {
 			return 0, err
 		}
-		machine, err := amnesic.New(m, ann, initial.Clone(), policy.New(policy.Exact), cfg.UArch)
+		am := img.Fork()
+		defer am.Release()
+		machine, err := amnesic.New(m, ann, am, policy.New(policy.Exact), cfg.UArch)
 		if err != nil {
 			return 0, err
 		}

@@ -71,11 +71,22 @@ type page [pageWords]uint64
 // disjoint. Invariant: a page number inside any region's current words is
 // never present in the page map (growth migrates and deletes overlapping
 // pages), so every word has exactly one home.
+//
+// Copy-on-write: Seal freezes a Memory into an immutable Image, and
+// Image.Fork returns a view whose flat windows alias the sealed base and
+// whose page map starts empty, falling back to the base. The write barrier
+// is the writable-prefix length (arenaW / region.w): it equals the window
+// length for private storage and zero for storage aliased from a base, so
+// the store fast path's single bounds check doubles as the barrier — a
+// store into shared words takes storeSlow, which copies the region (or one
+// page) before writing. Loads never consult the prefix, so the read path
+// is identical for private and forked memories.
 type Memory struct {
 	pages map[uint64]*page
 
 	arenaBase uint64 // word index of arena[0]; page-aligned
 	arena     []uint64
+	arenaW    uint64 // writable prefix of arena: len(arena) when private, 0 when aliased/sealed
 
 	// extras are the secondary flat regions, in anchor order.
 	extras []region
@@ -83,15 +94,26 @@ type Memory struct {
 	// One-entry cache of the last page-map page touched.
 	lastPN   uint64
 	lastPage *page
+
+	// base, when non-nil, is the sealed image this view was forked from:
+	// flat windows with a zero writable prefix alias its storage, and
+	// loads fall back to its page map for pages without a local overlay.
+	base *Image
+	// sealed marks the Memory inside an Image: stores panic, and the
+	// one-entry page cache is never updated so concurrent forks may read
+	// the shared base without synchronization.
+	sealed bool
 }
 
 // region is one secondary flat window: words[0] sits at word index base,
 // and the window may grow up to lim words (fixed at anchor time so
-// windows never collide).
+// windows never collide). w is the writable prefix (see Memory): equal to
+// len(words) for private storage, 0 while words aliases a sealed base.
 type region struct {
 	base  uint64
 	lim   uint64
 	words []uint64
+	w     uint64
 }
 
 // NewMemory returns an empty memory (all words read as zero).
@@ -123,10 +145,17 @@ func (m *Memory) loadPaged(w uint64) uint64 {
 		return m.lastPage[off]
 	}
 	p := m.pages[pn]
+	if p == nil && m.base != nil {
+		p = m.base.m.pages[pn]
+	}
 	if p == nil {
 		return 0
 	}
-	m.lastPN, m.lastPage = pn, p
+	if !m.sealed {
+		// The sealed base image is read concurrently by every fork; it
+		// must stay bit-for-bit immutable, cache included.
+		m.lastPN, m.lastPage = pn, p
+	}
 	return p[off]
 }
 
@@ -159,13 +188,42 @@ func (m *Memory) WindowFor(addr uint64) (baseWord uint64, words []uint64, ok boo
 	return 0, nil, false
 }
 
+// ArenaViewW is ArenaView plus the arena's writable-prefix length — the
+// store-side bound for interpreter window caches. Loads keep bounding by
+// len(words); stores bound by wlen, so a store into words shared with a
+// sealed base misses the cache and reaches Store's slow path, which
+// performs the copy-on-write. For private memories wlen == len(words) and
+// the barrier is invisible.
+func (m *Memory) ArenaViewW() (baseWord uint64, words []uint64, wlen uint64) {
+	return m.arenaBase, m.arena, m.arenaW
+}
+
+// WindowForW is WindowFor plus the writable-prefix length of the window
+// holding addr; see ArenaViewW for the contract.
+func (m *Memory) WindowForW(addr uint64) (baseWord uint64, words []uint64, wlen uint64, ok bool) {
+	w := addr >> 3
+	if off := w - m.arenaBase; off < uint64(len(m.arena)) {
+		return m.arenaBase, m.arena, m.arenaW, true
+	}
+	for i := range m.extras {
+		r := &m.extras[i]
+		if off := w - r.base; off < uint64(len(r.words)) {
+			return r.base, r.words, r.w, true
+		}
+	}
+	return 0, nil, 0, false
+}
+
 // Store writes the word at byte address addr.
 func (m *Memory) Store(addr, val uint64) {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("mem: misaligned access at %#x", addr))
 	}
 	w := addr >> 3
-	if off := w - m.arenaBase; off < uint64(len(m.arena)) {
+	// Bounding by arenaW (not len(arena)) is the copy-on-write barrier:
+	// the two are equal for private memories, and arenaW is zero while the
+	// arena aliases a sealed base.
+	if off := w - m.arenaBase; off < m.arenaW {
 		m.arena[off] = val
 		return
 	}
@@ -173,20 +231,47 @@ func (m *Memory) Store(addr, val uint64) {
 }
 
 // storeSlow handles stores outside the current primary-arena words:
-// anchoring the arena on the first store, extending a region whose growth
-// window covers the address, anchoring a new secondary region for a fresh
-// address cluster, and falling back to the page map once the region slots
-// are exhausted.
+// materializing a private copy of a flat window (or one page) shared with
+// a sealed base, anchoring the arena on the first store, extending a
+// region whose growth window covers the address, anchoring a new secondary
+// region for a fresh address cluster, and falling back to the page map
+// once the region slots are exhausted.
 func (m *Memory) storeSlow(w, val uint64) {
+	if m.sealed {
+		panic(fmt.Sprintf("mem: store to sealed image at word %#x", w<<3))
+	}
+	if m.base != nil {
+		// Copy-on-first-write for windows aliased from the base image.
+		// Whole-region granularity for flat windows: the interpreter holds
+		// full-window views in locals, so a finer grain would force a read
+		// barrier on every load. Untouched windows are never copied.
+		if off := w - m.arenaBase; off < uint64(len(m.arena)) && off >= m.arenaW {
+			m.arena = append([]uint64(nil), m.arena...)
+			m.arenaW = uint64(len(m.arena))
+			m.arena[off] = val
+			return
+		}
+		for i := range m.extras {
+			r := &m.extras[i]
+			if off := w - r.base; off < uint64(len(r.words)) && off >= r.w {
+				r.words = append([]uint64(nil), r.words...)
+				r.w = uint64(len(r.words))
+				r.words[off] = val
+				return
+			}
+		}
+	}
 	if m.arena == nil {
 		base := w &^ uint64(pageMask)
 		m.arenaBase = base
 		m.arena = m.grown(base, nil, maxArenaWords, w-base+1)
+		m.arenaW = uint64(len(m.arena))
 		m.arena[w-base] = val
 		return
 	}
 	if off := w - m.arenaBase; w >= m.arenaBase && off < maxArenaWords {
 		m.arena = m.grown(m.arenaBase, m.arena, maxArenaWords, off+1)
+		m.arenaW = uint64(len(m.arena))
 		m.arena[off] = val
 		return
 	}
@@ -195,6 +280,7 @@ func (m *Memory) storeSlow(w, val uint64) {
 		if off := w - r.base; w >= r.base && off < r.lim {
 			if off >= uint64(len(r.words)) {
 				r.words = m.grown(r.base, r.words, r.lim, off+1)
+				r.w = uint64(len(r.words))
 			}
 			r.words[off] = val
 			return
@@ -217,18 +303,33 @@ func (m *Memory) storeSlow(w, val uint64) {
 		}
 		r := region{base: base, lim: lim}
 		r.words = m.grown(base, nil, lim, w-base+1)
+		r.w = uint64(len(r.words))
 		r.words[w-base] = val
 		m.extras = append(m.extras, r)
 		return
 	}
 	pn, off := w>>pageShift, w&pageMask
+	if m.pages == nil {
+		// Forked views defer the map until the first sparse write.
+		m.pages = make(map[uint64]*page)
+	}
 	p := m.pages[pn]
 	if p == nil {
-		if val == 0 {
-			return
+		// Page-granular copy-on-write: overlay one page from the base.
+		if m.base != nil {
+			if bp := m.base.m.pages[pn]; bp != nil {
+				cp := *bp
+				p = &cp
+				m.pages[pn] = p
+			}
 		}
-		p = new(page)
-		m.pages[pn] = p
+		if p == nil {
+			if val == 0 {
+				return
+			}
+			p = new(page)
+			m.pages[pn] = p
+		}
 	}
 	m.lastPN, m.lastPage = pn, p
 	p[off] = val
@@ -236,8 +337,11 @@ func (m *Memory) storeSlow(w, val uint64) {
 
 // grown extends a flat region to at least minLen words (a page multiple,
 // doubling from one page, capped at lim), migrating any page-map pages the
-// widened window swallows, and returns the new backing slice. Callers
-// guarantee minLen <= lim; lim is a page multiple.
+// widened window swallows (base-image pages are copied, never deleted),
+// and returns the new backing slice. Callers guarantee minLen <= lim; lim
+// is a page multiple. Growing a window whose words alias a sealed base
+// copies them into the new private slice, so callers reset the writable
+// prefix to the new length.
 func (m *Memory) grown(base uint64, words []uint64, lim, minLen uint64) []uint64 {
 	newLen := uint64(len(words))
 	if newLen >= minLen && newLen > 0 {
@@ -259,6 +363,10 @@ func (m *Memory) grown(base uint64, words []uint64, lim, minLen uint64) []uint64
 		if p := m.pages[pn]; p != nil {
 			copy(na[(pn-basePN)<<pageShift:], p[:])
 			delete(m.pages, pn)
+		} else if m.base != nil {
+			if p := m.base.m.pages[pn]; p != nil {
+				copy(na[(pn-basePN)<<pageShift:], p[:])
+			}
 		}
 	}
 	m.lastPN, m.lastPage = 0, nil
@@ -277,7 +385,8 @@ func (m *Memory) arenaPages() uint64 { return uint64(len(m.arena)) >> pageShift 
 
 // pageAt returns the backing words for page pn regardless of
 // representation — a view into the arena when pn falls inside its window,
-// the sparse page otherwise — or nil when the page has never been written.
+// the sparse page otherwise (overlay pages shadow base-image pages) — or
+// nil when the page has never been written.
 func (m *Memory) pageAt(pn uint64) *page {
 	if m.arena != nil {
 		basePN := m.arenaBase >> pageShift
@@ -292,11 +401,35 @@ func (m *Memory) pageAt(pn uint64) *page {
 			return (*page)(r.words[(pn-basePN)<<pageShift:])
 		}
 	}
-	return m.pages[pn]
+	if p := m.pages[pn]; p != nil {
+		return p
+	}
+	if m.base != nil {
+		return m.base.m.pages[pn]
+	}
+	return nil
+}
+
+// windowCovers reports whether page pn falls inside a flat window (windows
+// are page-aligned with page-multiple lengths, so covering the first word
+// covers the whole page).
+func (m *Memory) windowCovers(pn uint64) bool {
+	w := pn << pageShift
+	if off := w - m.arenaBase; m.arena != nil && off < uint64(len(m.arena)) {
+		return true
+	}
+	for i := range m.extras {
+		r := &m.extras[i]
+		if off := w - r.base; off < uint64(len(r.words)) {
+			return true
+		}
+	}
+	return false
 }
 
 // eachPN visits every page number with backing storage (arena pages first,
-// then sparse pages); visit returning false stops the walk.
+// then sparse pages, then unshadowed base-image pages); visit returning
+// false stops the walk. Each pn is visited at most once.
 func (m *Memory) eachPN(visit func(pn uint64) bool) {
 	if m.arena != nil {
 		basePN := m.arenaBase >> pageShift
@@ -320,24 +453,49 @@ func (m *Memory) eachPN(visit func(pn uint64) bool) {
 			return
 		}
 	}
+	if m.base != nil {
+		for pn := range m.base.m.pages {
+			// Window-covered base pages were either migrated during window
+			// growth or shadowed at fork time; overlay pages shadow too.
+			if m.pages[pn] != nil || m.windowCovers(pn) {
+				continue
+			}
+			if !visit(pn) {
+				return
+			}
+		}
+	}
 }
 
-// Clone returns a deep copy (used by the verifier to snapshot initial state).
+// Clone returns a deep copy (used by the verifier to snapshot initial
+// state). Cloning a forked view flattens it: the clone is fully private,
+// holds no reference on the base image, and compares Equal to the fork.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
 	if m.arena != nil {
 		c.arenaBase = m.arenaBase
 		c.arena = append([]uint64(nil), m.arena...)
+		c.arenaW = uint64(len(c.arena))
 	}
 	if len(m.extras) > 0 {
 		c.extras = make([]region, len(m.extras))
 		for i, r := range m.extras {
-			c.extras[i] = region{base: r.base, lim: r.lim, words: append([]uint64(nil), r.words...)}
+			words := append([]uint64(nil), r.words...)
+			c.extras[i] = region{base: r.base, lim: r.lim, words: words, w: uint64(len(words))}
 		}
 	}
 	for pn, p := range m.pages {
 		cp := *p
 		c.pages[pn] = &cp
+	}
+	if m.base != nil {
+		for pn, p := range m.base.m.pages {
+			if c.pages[pn] != nil || m.windowCovers(pn) {
+				continue
+			}
+			cp := *p
+			c.pages[pn] = &cp
+		}
 	}
 	return c
 }

@@ -23,7 +23,7 @@ type metrics struct {
 }
 
 // write renders the counters plus cache stats and queue gauges.
-func (m *metrics) write(w io.Writer, cs CacheStats, queueDepth, queueCap int, draining bool) {
+func (m *metrics) write(w io.Writer, cs CacheStats, ps PreparedStats, queueDepth, queueCap int, draining bool) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP amnesiacd_%s %s\n# TYPE amnesiacd_%s counter\namnesiacd_%s %d\n", name, help, name, name, v)
 	}
@@ -41,6 +41,9 @@ func (m *metrics) write(w io.Writer, cs CacheStats, queueDepth, queueCap int, dr
 	counter("result_cache_misses_total", "report cache misses", cs.Misses)
 	counter("result_cache_evictions_total", "report cache LRU evictions", cs.Evictions)
 	gauge("result_cache_entries", "reports currently cached", int64(cs.Entries))
+	counter("prepared_image_hits_total", "job prewarms served by a resident prepared image", ps.Hits)
+	counter("prepared_image_misses_total", "job prewarms that built the prepared image", ps.Misses)
+	gauge("prepared_images", "sealed prepared images currently resident", int64(ps.Entries))
 	gauge("jobs_running", "jobs currently executing", m.running.Load())
 	gauge("queue_depth", "jobs waiting in the queue", int64(queueDepth))
 	gauge("queue_capacity", "queue capacity", int64(queueCap))

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPreparedImageReuse: the first job over a workload builds its sealed
+// prepared image; a second job over the same workload — even of a
+// different kind and policy subset — finds it resident and skips the
+// prepare stage entirely.
+func TestPreparedImageReuse(t *testing.T) {
+	r := newRunner(2)
+	emit := func(Event) {}
+	suite, err := JobSpec{Kind: KindSuite, Workloads: []string{"is"}, Scale: 0.2, Policies: []string{"Compiler"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.run(context.Background(), suite, emit); err != nil {
+		t.Fatal(err)
+	}
+	ps := r.prepared.stats()
+	if ps.Misses != 1 || ps.Hits != 0 || ps.Entries != 1 {
+		t.Fatalf("after first job: %+v, want 1 miss, 0 hits, 1 entry", ps)
+	}
+
+	// Same workload and scale, different kind: still one prepared image.
+	before := r.artifacts.Len()
+	ckpt, err := JobSpec{Kind: KindCheckpoint, Workloads: []string{"is"}, Scale: 0.2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.run(context.Background(), ckpt, emit); err != nil {
+		t.Fatal(err)
+	}
+	ps = r.prepared.stats()
+	if ps.Misses != 1 || ps.Hits != 1 || ps.Entries != 1 {
+		t.Fatalf("after second job: %+v, want 1 miss, 1 hit, 1 entry", ps)
+	}
+	if after := r.artifacts.Len(); after != before {
+		t.Fatalf("second job grew the artifact cache %d -> %d: prepare ran again", before, after)
+	}
+
+	// A different scale is a different image.
+	other, err := JobSpec{Kind: KindSuite, Workloads: []string{"is"}, Scale: 0.25, Policies: []string{"Compiler"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.run(context.Background(), other, emit); err != nil {
+		t.Fatal(err)
+	}
+	ps = r.prepared.stats()
+	if ps.Misses != 2 || ps.Entries != 2 {
+		t.Fatalf("after rescaled job: %+v, want 2 misses, 2 entries", ps)
+	}
+}
+
+func TestPrepareKeyDistinct(t *testing.T) {
+	a := prepareKey("is", 1.0, 0)
+	for _, k := range []string{prepareKey("bfs", 1.0, 0), prepareKey("is", 0.5, 0), prepareKey("is", 1.0, 7)} {
+		if k == a {
+			t.Fatalf("prepare keys collide: %s", k)
+		}
+	}
+	if prepareKey("is", 1.0, 0) != a {
+		t.Fatal("prepare key is not deterministic")
+	}
+}

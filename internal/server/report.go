@@ -107,6 +107,7 @@ const maxDifftestFailures = 5
 type runner struct {
 	model      *energy.Model
 	artifacts  *harness.ArtifactCache
+	prepared   *preparedImages
 	simWorkers int
 	// hook, when non-nil, observes every actual execution (not cache hits,
 	// not coalesced duplicates). Tests use it to count executions.
@@ -117,6 +118,7 @@ func newRunner(simWorkers int) *runner {
 	return &runner{
 		model:      energy.Default(),
 		artifacts:  harness.NewArtifactCache(),
+		prepared:   newPreparedImages(),
 		simWorkers: simWorkers,
 	}
 }
@@ -173,6 +175,9 @@ func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event)) (
 		ws[i] = w
 	}
 	cfg := r.config(spec)
+	if err := r.prewarm(cfg, spec.Workloads); err != nil {
+		return nil, err
+	}
 	// Execute only the requested policies: a subset spec pays for exactly
 	// the simulations it asked for, and SSE Total counts only those stages.
 	cfg.Policies = spec.Policies
@@ -222,6 +227,9 @@ func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event)) (
 func (r *runner) runBreakEven(ctx context.Context, spec JobSpec, emit func(Event)) ([]BreakEvenRow, error) {
 	out := make([]BreakEvenRow, 0, len(spec.Workloads))
 	cfg := r.config(spec)
+	if err := r.prewarm(cfg, spec.Workloads); err != nil {
+		return nil, err
+	}
 	for i, name := range spec.Workloads {
 		w, err := workloads.Get(name)
 		if err != nil {
@@ -239,6 +247,9 @@ func (r *runner) runBreakEven(ctx context.Context, spec JobSpec, emit func(Event
 
 func (r *runner) runCheckpoint(ctx context.Context, spec JobSpec, emit func(Event)) ([]CheckpointRow, error) {
 	cfg := r.config(spec)
+	if err := r.prewarm(cfg, spec.Workloads); err != nil {
+		return nil, err
+	}
 	out := make([]CheckpointRow, 0, 2*len(spec.Workloads))
 	for i, name := range spec.Workloads {
 		if err := ctx.Err(); err != nil {

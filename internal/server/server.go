@@ -536,5 +536,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.stats(), len(s.queue), s.cfg.QueueCap, s.draining.Load())
+	s.met.write(w, s.cache.stats(), s.runner.prepared.stats(), len(s.queue), s.cfg.QueueCap, s.draining.Load())
 }
