@@ -8,7 +8,15 @@
 //	amnesiacd                          # listen on :8080
 //	amnesiacd -addr 127.0.0.1:0       # random port (printed on stdout)
 //	amnesiacd -queue 256 -job-workers 4 -cache 512
+//	amnesiacd -store-dir /var/lib/amnesiac -store-max-bytes 268435456
+//	amnesiacd -advertise http://10.0.0.1:8080 \
+//	          -peers http://10.0.0.2:8080,http://10.0.0.3:8080
 //	amnesiacd -version
+//
+// -store-dir enables the durable result store: computed reports and
+// prepared-image metadata survive restarts. -peers forms a replica set:
+// jobs route to their key's ring owner, idle replicas steal queued work,
+// and a dead peer's key range falls back to local execution.
 //
 // SIGTERM/SIGINT drain gracefully: the daemon stops accepting jobs,
 // finishes (or, past -drain-timeout, cancels) the ones in flight, flushes
@@ -40,6 +48,11 @@ func main() {
 		jobWorkers   = flag.Int("job-workers", 2, "jobs executing concurrently")
 		simWorkers   = flag.Int("workers", 0, "harness workers per job (0 = GOMAXPROCS, 1 = serial)")
 		cacheEntries = flag.Int("cache", 128, "result cache capacity (reports)")
+		storeDir     = flag.String("store-dir", "", "durable result store directory (empty = memory-only)")
+		storeMax     = flag.Int64("store-max-bytes", 256<<20, "durable store size bound in bytes")
+		advertise    = flag.String("advertise", "", "this replica's base URL as peers see it (required with -peers)")
+		peersCSV     = flag.String("peers", "", "comma-separated peer replica base URLs")
+		stealEvery   = flag.Duration("steal-interval", 2*time.Second, "how often an idle replica sweeps peers for queued work")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs at shutdown")
 		version      = flag.Bool("version", false, "print build identity and exit")
 	)
@@ -50,23 +63,40 @@ func main() {
 		return
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	peers, peersErr := cliutil.BaseURLs("amnesiacd", "-peers", *peersCSV)
 	if err := cliutil.All(
 		cliutil.Workers("amnesiacd", *simWorkers),
 		cliutil.Positive("amnesiacd", "-queue", *queueCap),
 		cliutil.Positive("amnesiacd", "-job-workers", *jobWorkers),
 		cliutil.Positive("amnesiacd", "-cache", *cacheEntries),
+		cliutil.Bytes("amnesiacd", "-store-max-bytes", *storeMax),
+		cliutil.BaseURL("amnesiacd", "-advertise", *advertise),
+		peersErr,
 	); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if len(peers) > 0 && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "amnesiacd: -peers requires -advertise (this replica's own base URL)")
+		os.Exit(2)
+	}
 
-	srv := server.New(server.Config{
-		QueueCap:     *queueCap,
-		JobWorkers:   *jobWorkers,
-		SimWorkers:   *simWorkers,
-		CacheEntries: *cacheEntries,
-		Log:          logger,
+	srv, err := server.New(server.Config{
+		QueueCap:      *queueCap,
+		JobWorkers:    *jobWorkers,
+		SimWorkers:    *simWorkers,
+		CacheEntries:  *cacheEntries,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+		Self:          *advertise,
+		Peers:         peers,
+		StealInterval: *stealEvery,
+		Log:           logger,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amnesiacd: %v\n", err)
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

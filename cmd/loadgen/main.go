@@ -1,0 +1,411 @@
+// Command loadgen drives one or more amnesiacd replicas with a sustained
+// mix of evaluation jobs and reports the serving numbers that matter for
+// the scale-out story: p50/p99 job latency, jobs per second, and an
+// approximate simulated-MIPS-per-core figure derived from the instruction
+// counts in completed suite reports.
+//
+// Every job is submitted with ?wait=1 and retried across the remaining
+// targets on failure, so killing a replica mid-run costs retries and
+// latency, never jobs: a run against a degraded replica set still
+// completes with zero lost jobs unless every target is down.
+//
+// Usage:
+//
+//	loadgen -targets http://127.0.0.1:8080                # 10s, 8 workers
+//	loadgen -targets http://a:8080,http://b:8080 -duration 30s
+//	loadgen -keys 64 -suite-every 4 -out /tmp/serve.json
+//	loadgen -floor jobs_per_sec=2 -max-failed 0           # CI gate
+//	loadgen -validate BENCH_serve.json                    # sanity-check
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
+	"github.com/amnesiac-sim/amnesiac/internal/cliutil"
+	"github.com/amnesiac-sim/amnesiac/internal/server"
+)
+
+// Report is the serving benchmark artifact (BENCH_serve.json).
+type Report struct {
+	Schema      string   `json:"schema"`
+	Generated   string   `json:"generated"`
+	Go          string   `json:"go"`
+	Build       string   `json:"build"`
+	HostCPUs    int      `json:"host_cpus"`
+	Targets     []string `json:"targets"`
+	DurationS   float64  `json:"duration_s"`
+	Concurrency int      `json:"concurrency"`
+	Keys        int      `json:"keys"`
+
+	Jobs    JobCounts `json:"jobs"`
+	Latency Latency   `json:"latency_ms"`
+	// JobsPerSec counts completed jobs (executions and cache hits alike)
+	// over the wall-clock window — the serving throughput.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// MIPSPerCore approximates simulated instruction throughput per host
+	// core: retired instructions implied by completed suite executions
+	// (classic instruction count × the number of executed stages) over
+	// wall time and runtime.NumCPU. A fleet figure, not a kernel figure.
+	MIPSPerCore float64 `json:"mips_per_core"`
+	SuiteInstrs uint64  `json:"suite_instrs"`
+}
+
+type JobCounts struct {
+	Completed int64 `json:"completed"`
+	CacheHits int64 `json:"cache_hits"`
+	StoreHits int64 `json:"store_hits"`
+	Failed    int64 `json:"failed"`
+	Retries   int64 `json:"retries"`
+}
+
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	var (
+		targetsCSV  = flag.String("targets", "http://127.0.0.1:8080", "comma-separated amnesiacd base URLs")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 8, "concurrent submitters")
+		keys        = flag.Int("keys", 32, "distinct job specs in the mix (repeats become cache hits)")
+		suiteEvery  = flag.Int("suite-every", 4, "every Nth spec is a suite job (instruction-count source); 0 disables")
+		scale       = flag.Float64("scale", 0.05, "workload scale for generated jobs")
+		out         = flag.String("out", "BENCH_serve.json", "output report path (- for stdout)")
+		floors      = flag.String("floor", "", "minimum metrics, e.g. jobs_per_sec=2 (comma-separated)")
+		maxFailed   = flag.Int64("max-failed", -1, "fail the run if more than this many jobs were lost (-1 disables)")
+		validate    = flag.String("validate", "", "validate an existing report and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: %s OK\n", *validate)
+		return
+	}
+
+	targets, terr := cliutil.BaseURLs("loadgen", "-targets", *targetsCSV)
+	if err := cliutil.All(
+		terr,
+		cliutil.Scale("loadgen", *scale),
+		cliutil.Positive("loadgen", "-concurrency", *concurrency),
+		cliutil.Positive("loadgen", "-keys", *keys),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -targets must name at least one replica")
+		os.Exit(2)
+	}
+	if *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -duration must be positive")
+		os.Exit(2)
+	}
+
+	rep := run(targets, *duration, *concurrency, *keys, *suiteEvery, *scale)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: wrote %s\n", *out)
+	}
+	fmt.Printf("loadgen: %d completed (%d cached, %d failed, %d retries), %.1f jobs/s, p50 %.0f ms, p99 %.0f ms, %.1f MIPS/core\n",
+		rep.Jobs.Completed, rep.Jobs.CacheHits, rep.Jobs.Failed, rep.Jobs.Retries,
+		rep.JobsPerSec, rep.Latency.P50, rep.Latency.P99, rep.MIPSPerCore)
+
+	ok := true
+	if *maxFailed >= 0 && rep.Jobs.Failed > *maxFailed {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d jobs lost, max allowed %d\n", rep.Jobs.Failed, *maxFailed)
+		ok = false
+	}
+	if !checkFloors(rep, *floors) {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// specFor deterministically generates the i-th spec of the mix: mostly
+// small difftest jobs with distinct seed counts (distinct content
+// addresses), every suiteEvery-th a one-workload suite job whose report
+// carries the instruction counts behind the MIPS figure.
+func specFor(i, keys, suiteEvery int, scale float64) server.JobSpec {
+	i = i % keys
+	if suiteEvery > 0 && i%suiteEvery == 0 {
+		workloads := []string{"is", "mcf", "bfs"}
+		return server.JobSpec{
+			Kind:      server.KindSuite,
+			Workloads: []string{workloads[(i/suiteEvery)%len(workloads)]},
+			Policies:  []string{"Compiler", "FLC"},
+			Scale:     scale,
+		}
+	}
+	return server.JobSpec{Kind: server.KindDifftest, Seeds: 1 + i, Scale: scale}
+}
+
+type outcome struct {
+	latency time.Duration
+	status  server.JobStatus
+	target  string
+	ok      bool
+}
+
+func run(targets []string, duration time.Duration, concurrency, keys, suiteEvery int, scale float64) Report {
+	client := &http.Client{}
+	var (
+		next      atomic.Int64
+		retries   atomic.Int64
+		failed    atomic.Int64
+		cacheHits atomic.Int64
+		storeHits atomic.Int64
+
+		mu        sync.Mutex
+		latencies []time.Duration
+		// instruction totals per completed suite execution, deduplicated
+		// by report key (cache hits re-serve the same simulated work).
+		seenSuites  = map[string]struct{}{}
+		suiteInstrs uint64
+	)
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := int(next.Add(1)) - 1
+				spec := specFor(i, keys, suiteEvery, scale)
+				res := submit(client, targets, (w+i)%len(targets), spec, &retries)
+				if !res.ok {
+					failed.Add(1)
+					continue
+				}
+				if res.status.CacheHit {
+					cacheHits.Add(1)
+				}
+				if res.status.StoreHit {
+					storeHits.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, res.latency)
+				_, seen := seenSuites[res.status.Key]
+				if spec.Kind == server.KindSuite && !seen {
+					seenSuites[res.status.Key] = struct{}{}
+					mu.Unlock()
+					if n := suiteInstrCount(client, res.target, res.status.Key); n > 0 {
+						mu.Lock()
+						suiteInstrs += n
+						mu.Unlock()
+					}
+					continue
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	rep := Report{
+		Schema:      "amnesiac-loadgen/v1",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Go:          runtime.Version(),
+		Build:       buildinfo.String(),
+		HostCPUs:    runtime.NumCPU(),
+		Targets:     targets,
+		DurationS:   wall.Seconds(),
+		Concurrency: concurrency,
+		Keys:        keys,
+		Jobs: JobCounts{
+			Completed: int64(len(latencies)),
+			CacheHits: cacheHits.Load(),
+			StoreHits: storeHits.Load(),
+			Failed:    failed.Load(),
+			Retries:   retries.Load(),
+		},
+		Latency:     Latency{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: pct(1.0)},
+		SuiteInstrs: suiteInstrs,
+	}
+	if wall > 0 {
+		rep.JobsPerSec = float64(len(latencies)) / wall.Seconds()
+		rep.MIPSPerCore = float64(suiteInstrs) / wall.Seconds() / float64(runtime.NumCPU()) / 1e6
+	}
+	return rep
+}
+
+// submit posts spec with ?wait=1, rotating through the targets on any
+// failure (connection refused, 5xx, 429, draining). A job is lost only
+// when every target failed maxAttempts times over.
+func submit(client *http.Client, targets []string, startIdx int, spec server.JobSpec, retries *atomic.Int64) outcome {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return outcome{}
+	}
+	const maxAttempts = 3 // full sweeps over the target list
+	begin := time.Now()
+	for attempt := 0; attempt < maxAttempts*len(targets); attempt++ {
+		if attempt > 0 {
+			retries.Add(1)
+			// Brief pause between sweeps so a restarting replica set is
+			// not hammered while it comes back.
+			if attempt%len(targets) == 0 {
+				time.Sleep(200 * time.Millisecond)
+			}
+		}
+		target := targets[(startIdx+attempt)%len(targets)]
+		resp, err := client.Post(target+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var st server.JobStatus
+		if json.Unmarshal(data, &st) != nil || st.State != server.StateDone {
+			continue // failed/timeout/canceled: retry elsewhere
+		}
+		return outcome{latency: time.Since(begin), status: st, target: target, ok: true}
+	}
+	return outcome{}
+}
+
+// suiteInstrCount fetches a completed suite report and returns the total
+// simulated instructions it implies: the classic instruction count once
+// per executed stage (classic baseline + each policy).
+func suiteInstrCount(client *http.Client, target, key string) uint64 {
+	resp, err := client.Get(target + "/v1/reports/" + key)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var rep server.Report
+	if json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&rep) != nil {
+		return 0
+	}
+	var total uint64
+	for _, wr := range rep.Suite {
+		total += wr.Classic.Instrs * uint64(1+len(wr.Policies))
+	}
+	return total
+}
+
+// checkFloors enforces -floor metric minimums ("jobs_per_sec=2,p99_max=30000").
+func checkFloors(rep Report, spec string) bool {
+	if spec == "" {
+		return true
+	}
+	ok := true
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, valStr, found := strings.Cut(part, "=")
+		if !found {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -floor entry %q (want name=value)\n", part)
+			ok = false
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -floor value %q: %v\n", part, err)
+			ok = false
+			continue
+		}
+		switch name {
+		case "jobs_per_sec":
+			if rep.JobsPerSec < val {
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL: jobs_per_sec %.2f below floor %.2f\n", rep.JobsPerSec, val)
+				ok = false
+			}
+		case "p99_max":
+			if rep.Latency.P99 > val {
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL: p99 %.0f ms above ceiling %.0f ms\n", rep.Latency.P99, val)
+				ok = false
+			}
+		case "mips_per_core":
+			if rep.MIPSPerCore < val {
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL: mips_per_core %.2f below floor %.2f\n", rep.MIPSPerCore, val)
+				ok = false
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: unknown -floor metric %q\n", name)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// validateReport sanity-checks a tracked BENCH_serve.json.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case rep.Schema != "amnesiac-loadgen/v1":
+		return fmt.Errorf("%s: unexpected schema %q", path, rep.Schema)
+	case rep.Jobs.Completed <= 0:
+		return fmt.Errorf("%s: no completed jobs", path)
+	case rep.Jobs.Failed != 0:
+		return fmt.Errorf("%s: %d lost jobs recorded", path, rep.Jobs.Failed)
+	case rep.JobsPerSec <= 0:
+		return fmt.Errorf("%s: nonpositive jobs_per_sec", path)
+	case rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50:
+		return fmt.Errorf("%s: implausible latency percentiles %+v", path, rep.Latency)
+	case len(rep.Targets) == 0:
+		return fmt.Errorf("%s: no targets recorded", path)
+	}
+	return nil
+}

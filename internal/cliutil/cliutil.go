@@ -5,7 +5,11 @@
 // budget surface later as a hang or a wrapped-around uint64.
 package cliutil
 
-import "fmt"
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
 
 // Scale validates a -scale workload scale factor.
 func Scale(prog string, v float64) error {
@@ -55,6 +59,54 @@ func MaxR(prog string, v float64) error {
 		return fmt.Errorf("%s: -maxr must exceed 1 (the sweep starts at Rdefault), got %g", prog, v)
 	}
 	return nil
+}
+
+// Bytes validates a byte-size flag that must be >= 1 (store bounds).
+func Bytes(prog, flagName string, v int64) error {
+	if v < 1 {
+		return fmt.Errorf("%s: %s must be positive, got %d", prog, flagName, v)
+	}
+	return nil
+}
+
+// BaseURL validates a replica base URL flag: http or https, a host, and
+// no query or fragment. Empty is allowed — absent flags are gated by the
+// caller (e.g. -advertise is only required alongside -peers).
+func BaseURL(prog, flagName, v string) error {
+	if v == "" {
+		return nil
+	}
+	u, err := url.Parse(strings.TrimSpace(v))
+	if err != nil {
+		return fmt.Errorf("%s: %s: %v", prog, flagName, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("%s: %s must use http or https, got %q", prog, flagName, v)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("%s: %s is missing a host: %q", prog, flagName, v)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return fmt.Errorf("%s: %s must be a bare base URL, got %q", prog, flagName, v)
+	}
+	return nil
+}
+
+// BaseURLs splits a comma-separated replica list, validates every entry
+// with BaseURL, and returns the trimmed URLs. Empty input yields nil.
+func BaseURLs(prog, flagName, csv string) ([]string, error) {
+	var out []string
+	for _, raw := range strings.Split(csv, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if err := BaseURL(prog, flagName, u); err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
 }
 
 // All returns the first non-nil error, so binaries can chain checks.

@@ -56,6 +56,35 @@ func TestMaxR(t *testing.T) {
 	wantErr(t, MaxR("p", -3), "p: -maxr must exceed 1")
 }
 
+func TestBytes(t *testing.T) {
+	wantErr(t, Bytes("p", "-store-max-bytes", 1), "")
+	wantErr(t, Bytes("p", "-store-max-bytes", 256<<20), "")
+	wantErr(t, Bytes("p", "-store-max-bytes", 0), "p: -store-max-bytes must be positive")
+	wantErr(t, Bytes("p", "-store-max-bytes", -1), "p: -store-max-bytes must be positive")
+}
+
+func TestBaseURL(t *testing.T) {
+	wantErr(t, BaseURL("p", "-advertise", ""), "") // absent is the caller's problem
+	wantErr(t, BaseURL("p", "-advertise", "http://10.0.0.1:8080"), "")
+	wantErr(t, BaseURL("p", "-advertise", "https://replica.example/base"), "")
+	wantErr(t, BaseURL("p", "-advertise", "ftp://a"), "p: -advertise must use http or https")
+	wantErr(t, BaseURL("p", "-advertise", "http://"), "missing a host")
+	wantErr(t, BaseURL("p", "-advertise", "http://a?x=1"), "bare base URL")
+}
+
+func TestBaseURLs(t *testing.T) {
+	got, err := BaseURLs("p", "-peers", " http://a:1, http://b:2 ,")
+	if err != nil || len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("BaseURLs = %v, %v", got, err)
+	}
+	if got, err := BaseURLs("p", "-peers", ""); err != nil || got != nil {
+		t.Fatalf("empty BaseURLs = %v, %v", got, err)
+	}
+	if _, err := BaseURLs("p", "-peers", "http://a:1,nota url"); err == nil {
+		t.Fatal("invalid peer accepted")
+	}
+}
+
 func TestAll(t *testing.T) {
 	if err := All(nil, nil); err != nil {
 		t.Fatalf("All(nil, nil) = %v", err)

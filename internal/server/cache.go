@@ -1,13 +1,18 @@
-// Content-addressed LRU result cache: canonical spec key → marshaled
-// report bytes. This is the "fetch" side of the recompute-vs-fetch
-// trade-off the service implements; the shared harness.ArtifactCache in
-// the runner is the layer below it (reusable intermediates even when the
-// final report must be recomputed).
+// Content-addressed result cache: canonical spec key → marshaled report
+// bytes, in two tiers. The memory tier is a bounded LRU serving the hot
+// set; beneath it an optional durable tier (internal/store) persists every
+// report to disk so a restarted daemon answers previously computed keys
+// without re-executing — the recompute-vs-fetch trade-off extended across
+// process lifetimes. The shared harness.ArtifactCache in the runner is the
+// layer below both (reusable intermediates even when the final report must
+// be recomputed).
 package server
 
 import (
 	"container/list"
 	"sync"
+
+	"github.com/amnesiac-sim/amnesiac/internal/store"
 )
 
 type cacheItem struct {
@@ -15,8 +20,8 @@ type cacheItem struct {
 	data []byte
 }
 
-// CacheStats is a point-in-time counter snapshot, rendered on /metrics and
-// logged at drain.
+// CacheStats is a point-in-time counter snapshot of the memory tier,
+// rendered on /metrics and logged at drain.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -24,10 +29,24 @@ type CacheStats struct {
 	Entries   int    `json:"entries"`
 }
 
-// resultCache is a bounded LRU keyed by JobSpec.Key. Safe for concurrent
-// use. Entries are immutable once inserted (reports are write-once), so
-// get returns the stored slice without copying.
+// Cache-lookup tiers, reported by resultCache.get so the submission path
+// can distinguish a restart-surviving disk hit (StoreHit on the job) from
+// a plain memory hit.
+type cacheTier int
+
+const (
+	tierMiss cacheTier = iota
+	tierMemory
+	tierDisk
+)
+
+// resultCache is a bounded memory LRU keyed by JobSpec.Key, optionally
+// backed by a durable disk store. Safe for concurrent use. Entries are
+// immutable once inserted (reports are write-once), so get returns the
+// stored slice without copying.
 type resultCache struct {
+	disk *store.Store // nil = memory-only
+
 	mu        sync.Mutex
 	capacity  int
 	ll        *list.List // front = most recently used; values are *cacheItem
@@ -37,34 +56,55 @@ type resultCache struct {
 	evictions uint64
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, disk *store.Store) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &resultCache{
+		disk:     disk,
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
 	}
 }
 
-// get returns the cached report for key, marking it most recently used.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached report for key and which tier answered. A disk
+// hit is promoted into the memory tier so the next lookup is hot.
+func (c *resultCache) get(key string) ([]byte, cacheTier) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheItem).data
+		c.mu.Unlock()
+		return data, tierMemory
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).data, true
+	c.misses++
+	c.mu.Unlock()
+
+	if c.disk == nil {
+		return nil, tierMiss
+	}
+	data, ok := c.disk.Get(key)
+	if !ok {
+		return nil, tierMiss
+	}
+	c.putMemory(key, data)
+	return data, tierDisk
 }
 
-// put inserts (or refreshes) key, evicting the least recently used entry
-// once past capacity.
-func (c *resultCache) put(key string, data []byte) {
+// put inserts (or refreshes) key in the memory tier and persists it to the
+// disk tier. Disk write errors are reported but do not fail the put — the
+// report is still served from memory; only restart durability is lost.
+func (c *resultCache) put(key string, data []byte) error {
+	c.putMemory(key, data)
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.Put(key, data)
+}
+
+func (c *resultCache) putMemory(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -84,20 +124,33 @@ func (c *resultCache) put(key string, data []byte) {
 
 // peek returns the cached report without touching recency or the hit/miss
 // counters — report fetches by key are reads of an already-answered
-// submission, not new cache decisions.
+// submission, not new cache decisions. Both tiers are consulted.
 func (c *resultCache) peek(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.items[key]
-	if !ok {
+	if ok {
+		data := el.Value.(*cacheItem).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.disk == nil {
 		return nil, false
 	}
-	return el.Value.(*cacheItem).data, true
+	return c.disk.Peek(key)
 }
 
-// stats snapshots the counters.
+// stats snapshots the memory-tier counters.
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// storeStats snapshots the disk tier (zero when memory-only).
+func (c *resultCache) storeStats() store.Stats {
+	if c.disk == nil {
+		return store.Stats{}
+	}
+	return c.disk.Stats()
 }

@@ -2,24 +2,28 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"testing"
+
+	"github.com/amnesiac-sim/amnesiac/internal/store"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	c.put("c", []byte("C")) // evicts a (least recently used)
 
-	if _, ok := c.get("a"); ok {
+	if _, tier := c.get("a"); tier != tierMiss {
 		t.Fatal("entry a survived past capacity")
 	}
-	if v, ok := c.get("b"); !ok || !bytes.Equal(v, []byte("B")) {
-		t.Fatalf("entry b = %q, %v", v, ok)
+	if v, tier := c.get("b"); tier != tierMemory || !bytes.Equal(v, []byte("B")) {
+		t.Fatalf("entry b = %q, tier %d", v, tier)
 	}
-	if v, ok := c.get("c"); !ok || !bytes.Equal(v, []byte("C")) {
-		t.Fatalf("entry c = %q, %v", v, ok)
+	if v, tier := c.get("c"); tier != tierMemory || !bytes.Equal(v, []byte("C")) {
+		t.Fatalf("entry c = %q, tier %d", v, tier)
 	}
 	st := c.stats()
 	if st.Evictions != 1 || st.Entries != 2 {
@@ -28,23 +32,23 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheRecency(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
-	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+	if _, tier := c.get("a"); tier != tierMemory { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
 	c.put("c", []byte("C")) // evicts b, not a
-	if _, ok := c.get("a"); !ok {
+	if _, tier := c.get("a"); tier != tierMemory {
 		t.Fatal("recently used entry a was evicted")
 	}
-	if _, ok := c.get("b"); ok {
+	if _, tier := c.get("b"); tier != tierMiss {
 		t.Fatal("LRU entry b survived")
 	}
 }
 
 func TestCacheCounters(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, nil)
 	c.put("k", []byte("V"))
 	c.get("k")    // hit
 	c.get("nope") // miss
@@ -58,7 +62,7 @@ func TestCacheCounters(t *testing.T) {
 }
 
 func TestCacheReinsertKeepsEntry(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("k", []byte("V"))
 	c.put("k", []byte("V")) // deterministic reports: same bytes
 	if st := c.stats(); st.Entries != 1 {
@@ -67,12 +71,74 @@ func TestCacheReinsertKeepsEntry(t *testing.T) {
 }
 
 func TestCacheManyKeysBounded(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, nil)
 	for i := 0; i < 100; i++ {
 		c.put(fmt.Sprintf("k%d", i), []byte{byte(i)})
 	}
 	st := c.stats()
 	if st.Entries != 8 || st.Evictions != 92 {
 		t.Fatalf("stats = %+v, want 8 entries / 92 evictions", st)
+	}
+}
+
+func hexKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cache-key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestCacheDiskTier: a key evicted from the memory tier is still answered
+// by the disk tier — reported as tierDisk and promoted back into memory.
+func TestCacheDiskTier(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	c := newResultCache(1, st)
+	k0, k1 := hexKey(0), hexKey(1)
+	if err := c.put(k0, []byte("zero")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := c.put(k1, []byte("one")); err != nil { // evicts k0 from memory
+		t.Fatalf("put: %v", err)
+	}
+	v, tier := c.get(k0)
+	if tier != tierDisk || !bytes.Equal(v, []byte("zero")) {
+		t.Fatalf("get(k0) = %q, tier %d; want disk hit", v, tier)
+	}
+	// Promotion: the same key is now a memory hit (and evicted k1 again).
+	if _, tier := c.get(k0); tier != tierMemory {
+		t.Fatalf("get(k0) after promotion: tier %d, want memory", tier)
+	}
+	// peek consults both tiers without counting.
+	if v, ok := c.peek(k1); !ok || !bytes.Equal(v, []byte("one")) {
+		t.Fatalf("peek(k1) = %q, %v; want disk-backed hit", v, ok)
+	}
+	if ss := c.storeStats(); ss.Entries != 2 {
+		t.Fatalf("store entries = %d, want 2", ss.Entries)
+	}
+}
+
+// TestCacheSurvivesReopen: a fresh cache over the same store directory —
+// the restart case — serves previously computed entries from disk.
+func TestCacheSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	c := newResultCache(4, st)
+	k := hexKey(42)
+	if err := c.put(k, []byte("persisted")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	st2, err := store.Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	c2 := newResultCache(4, st2)
+	v, tier := c2.get(k)
+	if tier != tierDisk || !bytes.Equal(v, []byte("persisted")) {
+		t.Fatalf("after reopen get = %q, tier %d; want disk hit", v, tier)
 	}
 }

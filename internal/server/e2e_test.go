@@ -22,7 +22,7 @@ type e2eHarness struct {
 
 func newE2E(t *testing.T, cfg Config) *e2eHarness {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	var execs atomic.Int32
 	srv.runner.hook = func(JobSpec) { execs.Add(1) }
 	ts := httptest.NewServer(srv.Handler())

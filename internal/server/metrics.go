@@ -9,21 +9,26 @@ import (
 	"sync/atomic"
 
 	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
+	"github.com/amnesiac-sim/amnesiac/internal/cluster"
+	"github.com/amnesiac-sim/amnesiac/internal/store"
 )
 
 type metrics struct {
-	submitted atomic.Uint64 // accepted submissions (incl. cache hits + coalesced)
-	rejected  atomic.Uint64 // 429 backpressure rejections
-	coalesced atomic.Uint64 // submissions attached to an in-flight identical job
-	completed atomic.Uint64 // jobs finishing in state done
-	failed    atomic.Uint64
-	timeouts  atomic.Uint64
-	canceled  atomic.Uint64
-	running   atomic.Int64 // gauge
+	submitted   atomic.Uint64 // accepted submissions (incl. cache hits + coalesced)
+	rejected    atomic.Uint64 // 429 backpressure rejections
+	coalesced   atomic.Uint64 // submissions attached to an in-flight identical job
+	completed   atomic.Uint64 // jobs finishing in state done
+	failed      atomic.Uint64
+	timeouts    atomic.Uint64
+	canceled    atomic.Uint64
+	proxied     atomic.Uint64 // submissions forwarded to their key's ring owner
+	stolen      atomic.Uint64 // jobs this replica stole from peers
+	stealHanded atomic.Uint64 // queued jobs handed out to stealing peers
+	running     atomic.Int64  // gauge
 }
 
-// write renders the counters plus cache stats and queue gauges.
-func (m *metrics) write(w io.Writer, cs CacheStats, ps PreparedStats, queueDepth, queueCap int, draining bool) {
+// write renders the counters plus cache, store, cluster, and queue gauges.
+func (m *metrics) write(w io.Writer, cs CacheStats, ps PreparedStats, ss store.Stats, cls cluster.Stats, queueDepth, queueCap int, draining bool) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP amnesiacd_%s %s\n# TYPE amnesiacd_%s counter\namnesiacd_%s %d\n", name, help, name, name, v)
 	}
@@ -41,9 +46,20 @@ func (m *metrics) write(w io.Writer, cs CacheStats, ps PreparedStats, queueDepth
 	counter("result_cache_misses_total", "report cache misses", cs.Misses)
 	counter("result_cache_evictions_total", "report cache LRU evictions", cs.Evictions)
 	gauge("result_cache_entries", "reports currently cached", int64(cs.Entries))
+	counter("store_hits_total", "durable store hits (reports served from disk)", ss.Hits)
+	counter("store_misses_total", "durable store misses", ss.Misses)
+	counter("store_evictions_total", "durable store size-bound evictions", ss.Evictions)
+	counter("store_quarantined_total", "corrupt store entries renamed aside", ss.Quarantined)
+	gauge("store_bytes", "bytes currently held by the durable store", ss.Bytes)
+	gauge("store_entries", "reports currently in the durable store", int64(ss.Entries))
 	counter("prepared_image_hits_total", "job prewarms served by a resident prepared image", ps.Hits)
 	counter("prepared_image_misses_total", "job prewarms that built the prepared image", ps.Misses)
 	gauge("prepared_images", "sealed prepared images currently resident", int64(ps.Entries))
+	counter("peer_proxied_jobs_total", "submissions proxied to their key's ring owner", m.proxied.Load())
+	counter("peer_stolen_jobs_total", "jobs stolen from peers and executed here", m.stolen.Load())
+	counter("peer_steal_handed_total", "queued jobs handed out to stealing peers", m.stealHanded.Load())
+	gauge("peer_unhealthy", "peer replicas currently in failure backoff", int64(cls.Unhealthy))
+	gauge("cluster_peers", "configured peer replicas", int64(cls.Peers))
 	gauge("jobs_running", "jobs currently executing", m.running.Load())
 	gauge("queue_depth", "jobs waiting in the queue", int64(queueDepth))
 	gauge("queue_capacity", "queue capacity", int64(queueCap))

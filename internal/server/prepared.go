@@ -12,6 +12,7 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,18 +36,28 @@ type PreparedStats struct {
 	Misses  uint64 // prewarm requests that built the image
 }
 
+// preparedMeta describes one prepared image well enough to rebuild it
+// after a restart. It is what the durable store persists for the
+// prepared-image layer (the sealed images themselves are memory-only).
+type preparedMeta struct {
+	Workload  string  `json:"workload"`
+	Scale     float64 `json:"scale"`
+	MaxInstrs uint64  `json:"max_instrs"`
+}
+
 // preparedImages records which prepare keys have been warmed into the
-// artifact cache. Counters are atomics; the key set takes a short lock off
-// the submission path (prewarm runs on job workers).
+// artifact cache, and the metadata to re-warm them after a restart.
+// Counters are atomics; the key set takes a short lock off the submission
+// path (prewarm runs on job workers).
 type preparedImages struct {
 	mu     sync.Mutex
-	keys   map[string]struct{}
+	keys   map[string]preparedMeta
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
 func newPreparedImages() *preparedImages {
-	return &preparedImages{keys: make(map[string]struct{})}
+	return &preparedImages{keys: make(map[string]preparedMeta)}
 }
 
 func (p *preparedImages) resident(key string) bool {
@@ -56,10 +67,22 @@ func (p *preparedImages) resident(key string) bool {
 	return ok
 }
 
-func (p *preparedImages) markResident(key string) {
+func (p *preparedImages) markResident(key string, m preparedMeta) {
 	p.mu.Lock()
-	p.keys[key] = struct{}{}
+	p.keys[key] = m
 	p.mu.Unlock()
+}
+
+// manifest snapshots the resident images' metadata in stable (arbitrary
+// map) order for persistence.
+func (p *preparedImages) manifest() []preparedMeta {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]preparedMeta, 0, len(p.keys))
+	for _, m := range p.keys {
+		out = append(out, m)
+	}
+	return out
 }
 
 func (p *preparedImages) stats() PreparedStats {
@@ -67,6 +90,68 @@ func (p *preparedImages) stats() PreparedStats {
 	n := len(p.keys)
 	p.mu.Unlock()
 	return PreparedStats{Entries: n, Hits: p.hits.Load(), Misses: p.misses.Load()}
+}
+
+// preparedManifestName is the aux file in the durable store holding the
+// prepared-image metadata.
+const preparedManifestName = "prepared.json"
+
+// persistPrepared writes the prepared-image manifest to the durable
+// store. Called after each completed job — the set only grows, and a lost
+// write merely costs a rebuild on the next restart.
+func (s *Server) persistPrepared() {
+	if s.store == nil {
+		return
+	}
+	man := s.runner.prepared.manifest()
+	if len(man) == 0 {
+		return
+	}
+	data, err := json.Marshal(man)
+	if err != nil {
+		return
+	}
+	if err := s.store.PutAux(preparedManifestName, data); err != nil {
+		s.log.Printf("amnesiacd: persist prepared manifest: %v", err)
+	}
+}
+
+// restorePrepared re-warms the prepared images recorded by a previous
+// process, in the background: serving starts immediately and the first
+// jobs either find their images resident or coalesce onto the builds in
+// flight through the artifact cache's singleflight.
+func (s *Server) restorePrepared() {
+	data, ok := s.store.GetAux(preparedManifestName)
+	if !ok {
+		return
+	}
+	var man []preparedMeta
+	if err := json.Unmarshal(data, &man); err != nil {
+		s.log.Printf("amnesiacd: prepared manifest unreadable, skipping re-warm: %v", err)
+		return
+	}
+	// Group by prepare configuration so each group is one prewarm call.
+	type prepCfg struct {
+		scale     float64
+		maxInstrs uint64
+	}
+	groups := make(map[prepCfg][]string)
+	for _, m := range man {
+		pc := prepCfg{scale: m.Scale, maxInstrs: m.MaxInstrs}
+		groups[pc] = append(groups[pc], m.Workload)
+	}
+	go func() {
+		n := 0
+		for pc, names := range groups {
+			cfg := s.runner.config(JobSpec{Scale: pc.scale, MaxInstrs: pc.maxInstrs})
+			if err := s.runner.prewarm(cfg, names); err != nil {
+				s.log.Printf("amnesiacd: re-warm prepared images: %v", err)
+				return
+			}
+			n += len(names)
+		}
+		s.log.Printf("amnesiacd: re-warmed %d prepared image(s) from the durable store", n)
+	}()
 }
 
 // prewarm ensures the sealed prepared image for every named workload is
@@ -115,7 +200,8 @@ func (r *runner) prewarm(cfg harness.Config, names []string) error {
 					return
 				}
 				r.prepared.misses.Add(1)
-				r.prepared.markResident(prepareKey(name, cfg.Scale, cfg.MaxInstrs))
+				r.prepared.markResident(prepareKey(name, cfg.Scale, cfg.MaxInstrs),
+					preparedMeta{Workload: name, Scale: cfg.Scale, MaxInstrs: cfg.MaxInstrs})
 			}
 		}()
 	}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRestartServesFromStore is the durability acceptance scenario: a
+// daemon computes a report, shuts down, and a NEW daemon over the same
+// store directory answers the same spec byte-identically without
+// re-executing — amnesia across restarts is gone.
+func TestRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"kind":"suite","workloads":["is"],"scale":0.05,"policies":["Compiler"]}`
+
+	h1 := newE2E(t, Config{JobWorkers: 1, SimWorkers: 2, StoreDir: dir})
+	st, code := h1.post(t, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submission: HTTP %d, want 202", code)
+	}
+	h1.followSSE(t, st.ID)
+	first := h1.waitTerminal(t, st.ID)
+	if first.State != StateDone {
+		t.Fatalf("first job = %+v, want done", first)
+	}
+	report1 := h1.reportBytes(t, first.Key)
+	if n := h1.execs.Load(); n != 1 {
+		t.Fatalf("first daemon executed %d jobs, want 1", n)
+	}
+	h1.srv.Close()
+	h1.ts.Close()
+
+	// "Restart": a fresh process over the same directory.
+	h2 := newE2E(t, Config{JobWorkers: 1, SimWorkers: 2, StoreDir: dir})
+	st2, code2 := h2.post(t, spec)
+	if code2 != http.StatusOK {
+		t.Fatalf("post-restart submission: HTTP %d, want 200 (store hit)", code2)
+	}
+	if !st2.CacheHit || !st2.StoreHit || st2.State != StateDone {
+		t.Fatalf("post-restart submission = %+v, want done store hit", st2)
+	}
+	report2 := h2.reportBytes(t, st2.Key)
+	if !bytes.Equal(report1, report2) {
+		t.Fatal("restarted daemon served different report bytes")
+	}
+	if n := h2.execs.Load(); n != 0 {
+		t.Fatalf("restarted daemon re-executed %d times, want 0", n)
+	}
+
+	// The SSE stream for the store-hit job ends with a terminal event that
+	// carries the store_hit flag for late subscribers.
+	events := h2.followSSE(t, st2.ID)
+	if len(events) == 0 {
+		t.Fatal("no SSE events for the store-hit job")
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateDone || !last.StoreHit {
+		t.Fatalf("store-hit terminal event = %+v, want done with store_hit", last)
+	}
+
+	// /metrics exposes the disk tier.
+	resp, err := http.Get(h2.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"amnesiacd_store_hits_total 1",
+		"amnesiacd_store_entries 1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// replicaSet boots n servers whose advertised URLs are real httptest
+// listeners, wired as each other's peers. The handler indirection breaks
+// the chicken-and-egg between knowing the listen URL and building the
+// Server that needs its peers' URLs.
+type replicaSet struct {
+	urls  []string
+	srvs  []*Server
+	ts    []*httptest.Server
+	execs []*atomic.Int32
+}
+
+func newReplicaSet(t *testing.T, n int, tweak func(i int, cfg *Config)) *replicaSet {
+	t.Helper()
+	rs := &replicaSet{}
+	handlers := make([]atomic.Value, n) // holds http.Handler
+	for i := 0; i < n; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h, _ := handlers[i].Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "replica booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		rs.ts = append(rs.ts, ts)
+		rs.urls = append(rs.urls, ts.URL)
+	}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for k, u := range rs.urls {
+			if k != i {
+				peers = append(peers, u)
+			}
+		}
+		cfg := Config{
+			JobWorkers: 1, SimWorkers: 1, QueueCap: 16,
+			Self: rs.urls[i], Peers: peers,
+			StealInterval: 24 * time.Hour, // stealing off unless a test turns it on
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		srv := mustNew(t, cfg)
+		var execs atomic.Int32
+		srv.runner.hook = func(JobSpec) { execs.Add(1) }
+		rs.srvs = append(rs.srvs, srv)
+		rs.execs = append(rs.execs, &execs)
+		handlers[i].Store(srv.Handler())
+	}
+	t.Cleanup(func() {
+		for i := range rs.srvs {
+			rs.ts[i].Close()
+			rs.srvs[i].Close()
+		}
+	})
+	return rs
+}
+
+func (rs *replicaSet) totalExecs() int32 {
+	var n int32
+	for _, e := range rs.execs {
+		n += e.Load()
+	}
+	return n
+}
+
+// TestClusterRoutesToOwner: the same spec submitted to every replica
+// executes exactly once — non-owners proxy to the ring owner, whose
+// coalescing and cache absorb the duplicates.
+func TestClusterRoutesToOwner(t *testing.T) {
+	rs := newReplicaSet(t, 3, nil)
+	spec := `{"kind":"difftest","seeds":2,"scale":0.05}`
+
+	var statuses []JobStatus
+	for _, u := range rs.urls {
+		resp, err := http.Post(u+"/v1/jobs?wait=1", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatalf("POST to %s: %v", u, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST to %s: HTTP %d: %s", u, resp.StatusCode, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("bad status from %s: %q", u, data)
+		}
+		statuses = append(statuses, st)
+	}
+	for i, st := range statuses {
+		if st.State != StateDone {
+			t.Fatalf("replica %d returned state %s", i, st.State)
+		}
+		if st.Key != statuses[0].Key {
+			t.Fatalf("replicas disagree on the key: %s vs %s", st.Key, statuses[0].Key)
+		}
+	}
+	if n := rs.totalExecs(); n != 1 {
+		t.Fatalf("spec executed %d times across the set, want exactly 1", n)
+	}
+
+	// The owner holds the report; every replica can serve it (non-owners
+	// proxy the fetch).
+	key := statuses[0].Key
+	var bodies [][]byte
+	for _, u := range rs.urls {
+		resp, err := http.Get(u + "/v1/reports/" + key)
+		if err != nil {
+			t.Fatalf("GET report from %s: %v", u, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET report from %s: HTTP %d", u, resp.StatusCode)
+		}
+		bodies = append(bodies, data)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("replica %d served different report bytes", i)
+		}
+	}
+}
+
+// TestClusterOwnerDownFallsBackLocally: with the key's owner dead, a
+// submission to another replica executes locally and succeeds — graceful
+// degradation, never an error.
+func TestClusterOwnerDownFallsBackLocally(t *testing.T) {
+	rs := newReplicaSet(t, 3, nil)
+	spec := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 2, Scale: 0.05})
+	key := spec.Key()
+
+	owner, _ := rs.srvs[0].cluster.Owner(key)
+	ownerIdx := -1
+	for i, u := range rs.urls {
+		if u == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("owner %s is not in the set %v", owner, rs.urls)
+	}
+	rs.ts[ownerIdx].Close() // kill the owner
+	other := (ownerIdx + 1) % len(rs.urls)
+
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(rs.urls[other]+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST with owner down: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST with owner down: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("bad status: %q", data)
+	}
+	if st.State != StateDone {
+		t.Fatalf("fallback job state = %s, want done", st.State)
+	}
+	if n := rs.execs[other].Load(); n != 1 {
+		t.Fatalf("fallback replica executed %d jobs, want 1", n)
+	}
+}
+
+// TestClusterStealing: a replica whose only worker is wedged has its
+// queued job stolen and completed by an idle peer; the victim's job
+// reaches done with the stolen report cached locally.
+func TestClusterStealing(t *testing.T) {
+	rs := newReplicaSet(t, 2, func(i int, cfg *Config) {
+		if i == 1 {
+			cfg.StealInterval = 30 * time.Millisecond
+		}
+	})
+	victim, thief := rs.srvs[0], rs.srvs[1]
+
+	// Wedge the victim's single worker on a job the thief must not touch.
+	block := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	defer release()
+	victim.runner.hook = func(JobSpec) { <-block }
+	thief.runner.hook = func(JobSpec) { rs.execs[1].Add(1) }
+
+	wedge := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1, Scale: 0.05})
+	if _, err := victim.submit(wedge); err != nil {
+		t.Fatalf("submit wedge: %v", err)
+	}
+	// Wait until the worker is inside the wedged job.
+	for deadline := time.Now().Add(5 * time.Second); victim.met.running.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("wedge job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// This one sits in the victim's queue until the thief takes it.
+	queued := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 3, Scale: 0.05})
+	res, err := victim.submit(queued)
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	select {
+	case <-res.job.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("queued job was never stolen and completed")
+	}
+	st := res.job.status()
+	if st.State != StateDone {
+		t.Fatalf("stolen job state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.StolenBy != rs.urls[1] {
+		t.Fatalf("StolenBy = %q, want the thief %s", st.StolenBy, rs.urls[1])
+	}
+	if rs.execs[1].Load() == 0 {
+		t.Fatal("thief reported no executions")
+	}
+	// The victim can serve the stolen report from its own cache.
+	if _, ok := victim.cache.peek(queued.Key()); !ok {
+		t.Fatal("stolen report not cached on the victim")
+	}
+	if victim.met.stealHanded.Load() == 0 || thief.met.stolen.Load() == 0 {
+		t.Fatalf("steal counters: handed=%d stolen=%d, want both > 0",
+			victim.met.stealHanded.Load(), thief.met.stolen.Load())
+	}
+	release()
+}
+
+// TestBatchSubmission: one batch request admits several specs, reports
+// per-spec outcomes in order, and the jobs complete. Resubmitting the
+// batch answers every entry from cache.
+func TestBatchSubmission(t *testing.T) {
+	h := newE2E(t, Config{JobWorkers: 2, SimWorkers: 1, QueueCap: 16})
+	batch := `{"specs":[
+		{"kind":"difftest","seeds":1,"scale":0.05},
+		{"kind":"difftest","seeds":2,"scale":0.05},
+		{"kind":"suite","workloads":["is"],"scale":0.05,"policies":["Compiler"]}
+	]}`
+
+	postBatch := func() BatchResponse {
+		t.Helper()
+		resp, err := http.Post(h.ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(batch))
+		if err != nil {
+			t.Fatalf("POST batch: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST batch: HTTP %d: %s", resp.StatusCode, data)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(data, &br); err != nil {
+			t.Fatalf("bad batch response %q: %v", data, err)
+		}
+		return br
+	}
+
+	br := postBatch()
+	if len(br.Jobs) != 3 {
+		t.Fatalf("batch returned %d entries, want 3", len(br.Jobs))
+	}
+	for i, e := range br.Jobs {
+		if e.Job == nil {
+			t.Fatalf("entry %d rejected: %s (code %d)", i, e.Error, e.Code)
+		}
+		h.waitTerminal(t, e.Job.ID)
+	}
+	if n := h.execs.Load(); n != 3 {
+		t.Fatalf("batch executed %d jobs, want 3", n)
+	}
+
+	br2 := postBatch()
+	for i, e := range br2.Jobs {
+		if e.Job == nil || !e.Job.CacheHit || e.Code != http.StatusOK {
+			t.Fatalf("resubmitted entry %d = %+v, want cache hit", i, e)
+		}
+	}
+	if n := h.execs.Load(); n != 3 {
+		t.Fatalf("resubmitted batch re-executed: %d total execs", n)
+	}
+
+	// Bad batches are rejected whole.
+	for _, bad := range []string{`{}`, `{"specs":[]}`, `{"specs":[{"kind":"nope"}]}`} {
+		resp, err := http.Post(h.ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatalf("POST bad batch: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad batch %q: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestQueueStealSkipsDeadlines: jobs with deadlines stay local — shipping
+// them to a peer risks expiry in transit.
+func TestQueueStealSkipsDeadlines(t *testing.T) {
+	q := newJobQueue(8)
+	mk := func(i int, timeoutMS int64) *job {
+		spec := JobSpec{Kind: KindDifftest, Seeds: i + 1, TimeoutMS: timeoutMS}
+		return newJob(fmt.Sprintf("j%08d", i), spec.Key(), spec, time.Now())
+	}
+	plain := mk(0, 0)
+	dead := mk(1, 60_000)
+	plain2 := mk(2, 0)
+	for _, j := range []*job{plain, dead, plain2} {
+		if !q.tryPush(j) {
+			t.Fatal("push failed")
+		}
+	}
+	got := q.steal(10)
+	if len(got) != 2 {
+		t.Fatalf("stole %d jobs, want 2 (deadline job must stay)", len(got))
+	}
+	for _, j := range got {
+		if !j.deadline.IsZero() {
+			t.Fatal("a deadline job was stolen")
+		}
+	}
+	// Steal takes from the back first.
+	if got[0] != plain2 {
+		t.Fatal("steal did not start from the back of the queue")
+	}
+	if q.len() != 1 {
+		t.Fatalf("queue length = %d, want the deadline job alone", q.len())
+	}
+}

@@ -2,7 +2,11 @@
 // long-running daemon that accepts suite / break-even / difftest jobs over
 // HTTP/JSON, executes them on a bounded worker pool with per-job deadlines,
 // streams progress over SSE, and serves results from a content-addressed
-// LRU cache. Identical in-flight submissions coalesce onto one execution.
+// cache with a memory LRU tier over an optional durable disk store, so
+// computed reports survive restarts. Identical in-flight submissions
+// coalesce onto one execution. With -peers configured, replicas route jobs
+// to the key's ring owner, steal queued work when idle, and fall back to
+// local execution when a peer is down (see cluster.go).
 //
 // API:
 //
@@ -10,11 +14,14 @@
 //	                             429 + Retry-After under backpressure;
 //	                             ?wait=1 blocks until terminal and cancels
 //	                             a sole submission on client disconnect)
+//	POST   /v1/jobs/batch        submit many specs with one shared prepare
 //	GET    /v1/jobs              list recent jobs
 //	GET    /v1/jobs/{id}         job status
 //	DELETE /v1/jobs/{id}         cancel (queued or running)
 //	GET    /v1/jobs/{id}/events  SSE progress stream (replays, then live)
 //	GET    /v1/reports/{key}     report bytes by content address
+//	POST   /v1/steal             hand queued jobs to an idle peer replica
+//	POST   /v1/steal/complete    peer posts a stolen job's result back
 //	GET    /healthz              liveness + build identity
 //	GET    /metrics              Prometheus text format
 package server
@@ -32,6 +39,8 @@ import (
 	"time"
 
 	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
+	"github.com/amnesiac-sim/amnesiac/internal/cluster"
+	"github.com/amnesiac-sim/amnesiac/internal/store"
 )
 
 // Config sizes the service. Zero values take the stated defaults.
@@ -45,6 +54,21 @@ type Config struct {
 	SimWorkers int
 	// CacheEntries bounds the LRU result cache (default 128 reports).
 	CacheEntries int
+	// StoreDir, when non-empty, enables the durable disk store under the
+	// memory cache: reports and prepared-image metadata survive restarts.
+	StoreDir string
+	// StoreMaxBytes bounds the durable store (default 256 MiB).
+	StoreMaxBytes int64
+	// Self is this replica's advertised base URL; required with Peers.
+	Self string
+	// Peers are the other replicas' base URLs. Empty = single node.
+	Peers []string
+	// StealInterval is how often an idle replica sweeps its peers for
+	// queued work (default 2s).
+	StealInterval time.Duration
+	// StealLease bounds how long a stolen job may stay out before the
+	// owner requeues it locally (default 60s).
+	StealLease time.Duration
 	// Log receives operational messages; nil discards them.
 	Log *log.Logger
 }
@@ -58,6 +82,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 128
+	}
+	if c.StoreMaxBytes == 0 {
+		c.StoreMaxBytes = 256 << 20
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = 2 * time.Second
+	}
+	if c.StealLease == 0 {
+		c.StealLease = 60 * time.Second
 	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
@@ -75,16 +108,18 @@ const maxBodyBytes = 1 << 20
 // Server is one service instance. Create with New, serve via Handler, and
 // stop with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg    Config
-	log    *log.Logger
-	runner *runner
-	cache  *resultCache
-	met    metrics
+	cfg     Config
+	log     *log.Logger
+	runner  *runner
+	cache   *resultCache
+	store   *store.Store     // nil without -store-dir
+	cluster *cluster.Cluster // disabled without -peers
+	met     metrics
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue    chan *job
+	queue    *jobQueue
 	workerWG sync.WaitGroup
 
 	mu       sync.Mutex
@@ -97,18 +132,33 @@ type Server struct {
 	started time.Time
 }
 
-// New starts a server's job workers. The caller owns the HTTP listener.
-func New(cfg Config) *Server {
+// New opens the durable store (when configured), validates the replica
+// set, and starts the job workers. The caller owns the HTTP listener.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cl, err := cluster.New(cluster.Config{Self: cfg.Self, Peers: cfg.Peers})
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Log,
 		runner:     newRunner(cfg.SimWorkers),
-		cache:      newResultCache(cfg.CacheEntries),
+		cache:      newResultCache(cfg.CacheEntries, st),
+		store:      st,
+		cluster:    cl,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueCap),
+		queue:      newJobQueue(cfg.QueueCap),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		started:    time.Now(),
@@ -117,18 +167,27 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	if st != nil {
+		s.restorePrepared()
+	}
+	if cl.Enabled() {
+		go s.stealLoop()
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	mux.HandleFunc("POST /v1/steal", s.handleSteal)
+	mux.HandleFunc("POST /v1/steal/complete", s.handleStealComplete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -142,7 +201,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := !s.draining.CompareAndSwap(false, true)
 	if !already {
-		close(s.queue) // submit checks draining under s.mu, so no racing send
+		s.queue.close() // submit checks draining under s.mu, so no racing push
 	}
 	s.mu.Unlock()
 	if already {
@@ -211,10 +270,12 @@ func (s *Server) submit(spec JobSpec) (submitResult, error) {
 		return submitResult{job: j, status: j.status(), code: http.StatusAccepted}, nil
 	}
 
-	// Fetch: the report was computed before; answer without executing.
-	if data, ok := s.cache.get(key); ok {
+	// Fetch: the report was computed before; answer without executing. A
+	// disk-tier hit is a report that survived a restart — marked StoreHit.
+	if data, tier := s.cache.get(key); tier != tierMiss {
 		j := newJob(s.newIDLocked(), key, spec, now)
 		j.cacheHit = true
+		j.storeHit = tier == tierDisk
 		s.indexLocked(j)
 		j.finish(StateDone, "", data, now)
 		s.met.submitted.Add(1)
@@ -223,9 +284,7 @@ func (s *Server) submit(spec JobSpec) (submitResult, error) {
 
 	// Recompute: enqueue, with backpressure.
 	j := newJob(s.newIDLocked(), key, spec, now)
-	select {
-	case s.queue <- j:
-	default:
+	if !s.queue.tryPush(j) {
 		s.met.rejected.Add(1)
 		return submitResult{}, errQueueFull
 	}
@@ -276,7 +335,11 @@ func (s *Server) indexLocked(j *job) {
 
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
@@ -313,7 +376,11 @@ func (s *Server) runJob(j *job) {
 
 	switch {
 	case err == nil:
-		s.cache.put(j.key, data)
+		if perr := s.cache.put(j.key, data); perr != nil {
+			// Memory tier still serves the report; only restart
+			// durability is lost for this key.
+			s.log.Printf("amnesiacd: persist report %s: %v", j.key, perr)
+		}
 		s.finalize(j, StateDone, "", data)
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		s.finalize(j, StateTimeout, err.Error(), nil)
@@ -334,6 +401,7 @@ func (s *Server) finalize(j *job, state, errMsg string, result []byte) {
 	switch state {
 	case StateDone:
 		s.met.completed.Add(1)
+		s.persistPrepared()
 	case StateFailed:
 		s.met.failed.Add(1)
 	case StateTimeout:
@@ -424,6 +492,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Route to the key's ring owner when that is another, healthy replica
+	// and we cannot answer from a local cache tier. A proxy failure falls
+	// through to local execution — degradation, never an error.
+	if s.proxyToOwner(w, r, spec) {
+		return
+	}
+
 	res, err := s.submit(spec)
 	switch {
 	case errors.Is(err, errDraining):
@@ -510,6 +585,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	if !ok {
+		// The key's ring owner may hold the report (e.g. the submission
+		// that computed it was proxied there).
+		if s.proxyReport(w, r, key) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown report")
 		return
 	}
@@ -530,11 +610,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"build":        buildinfo.String(),
 		"uptime_s":     int64(time.Since(s.started).Seconds()),
 		"jobs_running": s.met.running.Load(),
-		"queue_depth":  len(s.queue),
+		"queue_depth":  s.queue.len(),
+		"peers":        len(s.cluster.Peers()),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.stats(), s.runner.prepared.stats(), len(s.queue), s.cfg.QueueCap, s.draining.Load())
+	s.met.write(w, s.cache.stats(), s.runner.prepared.stats(), s.cache.storeStats(),
+		s.cluster.Stats(), s.queue.len(), s.cfg.QueueCap, s.draining.Load())
 }

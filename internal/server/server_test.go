@@ -27,11 +27,21 @@ func waitDone(t *testing.T, j *job) {
 	}
 }
 
+// mustNew builds a server or fails the test.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 // blockableServer wires a hook that counts executions and can hold the
 // worker inside the first stage of a run.
 func blockableServer(t *testing.T, cfg Config) (*Server, *atomic.Int32, func()) {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	block := make(chan struct{})
 	var once sync.Once
 	release := func() { once.Do(func() { close(block) }) }
@@ -153,7 +163,7 @@ func TestCancelQueued(t *testing.T) {
 	release()
 	// The worker must skip the canceled job without executing it.
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.met.running.Load() != 0 || len(srv.queue) != 0 {
+	for srv.met.running.Load() != 0 || srv.queue.len() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue did not drain after cancel")
 		}
@@ -218,7 +228,7 @@ func TestCancelIfSolo(t *testing.T) {
 // TestDrain: draining stops new submissions, finishes in-flight work, and
 // leaves Drain idempotent-safe.
 func TestDrain(t *testing.T) {
-	srv := New(Config{JobWorkers: 1, SimWorkers: 1})
+	srv := mustNew(t, Config{JobWorkers: 1, SimWorkers: 1})
 	spec := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1})
 	res, err := srv.submit(spec)
 	if err != nil {

@@ -45,14 +45,18 @@ func TestFinishDropsFrameForFullSubscriber(t *testing.T) {
 // without delivering the final state event still ends with it — the
 // handler synthesizes it from the job's terminal state.
 func TestSSESynthesizesTerminalEvent(t *testing.T) {
-	srv := New(Config{JobWorkers: 1, SimWorkers: 1})
+	srv := mustNew(t, Config{JobWorkers: 1, SimWorkers: 1})
 	defer srv.Close()
 
 	spec := mustNormalize(t, JobSpec{Kind: KindDifftest, Seeds: 1})
 	j := newJob("j00000043", spec.Key(), spec, time.Now())
 	// Terminal job whose event history lacks the final state event — the
-	// state a slow subscriber observes after the fan-out dropped it.
+	// state a slow subscriber observes after the fan-out dropped it. It was
+	// answered from the durable store (the restart case), so the
+	// synthesized event must preserve that flag for late subscribers.
 	j.state = StateDone
+	j.cacheHit = true
+	j.storeHit = true
 	j.events = []Event{{Type: "progress", JobID: j.id, Stage: "difftest", Done: 1, Total: 1}}
 	close(j.done)
 	srv.mu.Lock()
@@ -83,5 +87,8 @@ func TestSSESynthesizesTerminalEvent(t *testing.T) {
 	last := events[len(events)-1]
 	if last.Type != "state" || last.State != StateDone {
 		t.Fatalf("final event = %+v, want synthesized done state", last)
+	}
+	if !last.CacheHit || !last.StoreHit {
+		t.Fatalf("synthesized terminal event lost the cache/store-hit flags: %+v", last)
 	}
 }

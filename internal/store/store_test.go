@@ -1,0 +1,335 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("Open(%s, %d): %v", dir, maxBytes, err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	key, payload := testKey(1), []byte("report payload bytes")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.Bytes != int64(headerSize+len(payload)) {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, headerSize+len(payload))
+	}
+}
+
+func TestRejectsInvalidKey(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	for _, key := range []string{"", "short", strings.Repeat("Z", 64), "../escape"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted an invalid key", key)
+		}
+	}
+}
+
+// TestRestartRebuildsIndex: a fresh Open over an existing directory serves
+// every entry written before, with recency seeded from modification times.
+func TestRestartRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	payloads := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		key := testKey(i)
+		payloads[key] = []byte(fmt.Sprintf("payload %d", i))
+		if err := s.Put(key, payloads[key]); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+
+	re := mustOpen(t, dir, 1<<20)
+	if st := re.Stats(); st.Entries != 5 {
+		t.Fatalf("reopened entries = %d, want 5", st.Entries)
+	}
+	for key, want := range payloads {
+		got, ok := re.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("reopened Get(%s) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+}
+
+// TestOpenCleansTempFiles: an interrupted writer's temp file is removed and
+// never becomes an entry.
+func TestOpenCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpPrefix+"leftover")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 1<<20)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("temp file became an entry: %+v", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived Open: %v", err)
+	}
+}
+
+// TestEvictionBySize: Put evicts cold entries (and their files) until the
+// byte budget holds; hot entries survive.
+func TestEvictionBySize(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	entryBytes := int64(headerSize + len(payload))
+	s := mustOpen(t, dir, 3*entryBytes)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), payload); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := s.Get(testKey(0)); !ok {
+		t.Fatal("warming Get missed")
+	}
+	if err := s.Put(testKey(3), payload); err != nil {
+		t.Fatalf("Put overflow: %v", err)
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 1 || st.Bytes != 3*entryBytes {
+		t.Fatalf("stats after eviction = %+v, want 3 entries, 1 eviction", st)
+	}
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("LRU victim still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, testKey(1))); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry's file survived: %v", err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("retained key %d missing after eviction", i)
+		}
+	}
+}
+
+// TestReopenEvictsToShrunkBudget: reopening with a smaller budget trims the
+// oldest entries immediately.
+func TestReopenEvictsToShrunkBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("y"), 64)
+	entryBytes := int64(headerSize + len(payload))
+	s := mustOpen(t, dir, 10*entryBytes)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the rebuilt recency order is deterministic even
+		// on coarse filesystem timestamp granularity.
+		tm := time.Now().Add(time.Duration(i-10) * time.Second)
+		if err := os.Chtimes(filepath.Join(dir, testKey(i)), tm, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := mustOpen(t, dir, 2*entryBytes)
+	st := re.Stats()
+	if st.Entries != 2 || st.Bytes > 2*entryBytes {
+		t.Fatalf("shrunk reopen stats = %+v, want 2 entries", st)
+	}
+	// The two newest (by mtime) survive.
+	for _, i := range []int{2, 3} {
+		if _, ok := re.Get(testKey(i)); !ok {
+			t.Fatalf("newest key %d evicted by shrink, want oldest-first eviction", i)
+		}
+	}
+}
+
+// TestOversizedPutSkipped: a payload larger than the whole budget is not
+// stored and does not flush existing entries.
+func TestOversizedPutSkipped(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 256)
+	small := testKey(0)
+	if err := s.Put(small, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), bytes.Repeat([]byte("z"), 512)); err != nil {
+		t.Fatalf("oversized Put errored: %v", err)
+	}
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("oversized payload was stored")
+	}
+	if _, ok := s.Get(small); !ok {
+		t.Fatal("oversized Put evicted the existing entry")
+	}
+}
+
+// Corrupt and truncated entries must quarantine (renamed aside, dropped
+// from the index) and read as misses — never as errors or wrong bytes.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(path string, t *testing.T)
+	}{
+		{"flipped payload byte", func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0xff
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated payload", func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated header", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("AMN"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad magic", func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(raw, "XXXXXXXX")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, 1<<20)
+			key := testKey(7)
+			if err := s.Put(key, []byte("will be corrupted")); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(filepath.Join(dir, key), t)
+
+			if data, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry served: %q", data)
+			}
+			st := s.Stats()
+			if st.Quarantined != 1 || st.Entries != 0 {
+				t.Fatalf("stats after corruption = %+v, want 1 quarantined, 0 entries", st)
+			}
+			if _, err := os.Stat(filepath.Join(dir, key+".bad")); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			// A reopen ignores the quarantined file entirely.
+			re := mustOpen(t, dir, 1<<20)
+			if st := re.Stats(); st.Entries != 0 {
+				t.Fatalf("quarantined file scanned back in: %+v", st)
+			}
+			// The key is writable again after quarantine.
+			if err := s.Put(key, []byte("fresh")); err != nil {
+				t.Fatalf("re-Put after quarantine: %v", err)
+			}
+			if data, ok := s.Get(key); !ok || string(data) != "fresh" {
+				t.Fatalf("re-Put entry = %q, %v", data, ok)
+			}
+		})
+	}
+}
+
+func TestAuxRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	if _, ok := s.GetAux("prepared.json"); ok {
+		t.Fatal("GetAux hit on empty store")
+	}
+	if err := s.PutAux("prepared.json", []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("PutAux: %v", err)
+	}
+	got, ok := s.GetAux("prepared.json")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("GetAux = %q, %v", got, ok)
+	}
+	// Aux files are not entries: invisible to the scan and to Stats.
+	re := mustOpen(t, dir, 1<<20)
+	if st := re.Stats(); st.Entries != 0 {
+		t.Fatalf("aux file scanned as an entry: %+v", st)
+	}
+	if _, ok := re.GetAux("prepared.json"); !ok {
+		t.Fatal("aux file lost across reopen")
+	}
+	for _, bad := range []string{"", "a/b", tmpPrefix + "x", testKey(0), ".."} {
+		if err := s.PutAux(bad, []byte("x")); err == nil {
+			t.Fatalf("PutAux(%q) accepted an invalid name", bad)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers Get/Put/eviction from many goroutines under
+// a tiny budget, so reads race evictions and duplicate writes race each
+// other. Run with -race; correctness assertion is that every successful Get
+// returns exactly the bytes put under that key.
+func TestConcurrentAccess(t *testing.T) {
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 50+i%7) }
+	const keys = 16
+	// Budget fits only ~5 entries, forcing constant eviction churn.
+	s := mustOpen(t, t.TempDir(), 5*(headerSize+64))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*31 + i) % keys
+				key := testKey(k)
+				if i%3 == 0 {
+					if err := s.Put(key, payload(k)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+				if data, ok := s.Get(key); ok && !bytes.Equal(data, payload(k)) {
+					t.Errorf("Get(%d) returned wrong bytes", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("concurrent churn quarantined healthy entries: %+v", st)
+	}
+	if st.Bytes > 5*(headerSize+64) {
+		t.Fatalf("byte budget violated: %+v", st)
+	}
+}
