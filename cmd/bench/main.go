@@ -16,7 +16,7 @@
 //	bench                              # responsive suite, scale 0.3
 //	bench -scale 0.1 -runs 5
 //	bench -bench is,mcf -out /tmp/b.json
-//	bench -notrace                     # classic without the trace engine
+//	bench -notrace                     # both cores without the trace engine
 //	bench -validate BENCH_interp.json  # sanity-check an existing report
 //	bench -floor profiled=25           # exit 1 if aggregate MIPS dips below
 //	bench -compare old.json new.json   # per-workload deltas; exit 1 on
@@ -205,6 +205,9 @@ func measure(w *workloads.Workload, scale float64, maxInstrs uint64, runs int, w
 				return 0, 0, err
 			}
 			machine.MaxInstrs = maxInstrs
+			if noTrace {
+				machine.Trace = trace.Config{}
+			}
 			start := time.Now()
 			if err := machine.Run(); err != nil {
 				return 0, 0, err
@@ -353,7 +356,7 @@ func main() {
 		floorFlag  = flag.String("floor", "", "mode=MIPS[,mode=MIPS] aggregate throughput floors; exit 1 if unmet")
 		compareRun = flag.Bool("compare", false, "compare two report files (bench -compare old.json new.json) and exit")
 		regress    = flag.Float64("regress", 0.10, "with -compare, max tolerated fractional MIPS regression per (workload, mode)")
-		noTrace    = flag.Bool("notrace", false, "disable the classic core's trace engine (measure the pure interpreter)")
+		noTrace    = flag.Bool("notrace", false, "disable the trace engine on both cores (measure the pure interpreters)")
 		fanout     = flag.Int("fanout", 0, "rounds of the (workload x policy) grid to serve through the warm fan-out runner (0 = off)")
 		fanLanes   = flag.Int("fanoutlanes", 0, "fan-out worker lanes (0 = GOMAXPROCS)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")

@@ -61,10 +61,13 @@ type Options struct {
 	// Shrink minimizes failing programs before reporting (CheckSeed only).
 	Shrink bool
 	// TraceForce additionally runs every amnesic policy with trace reuse
-	// forced on (threshold 1, so every loop records on its first back-edge)
+	// forced on (threshold 1, so every loop records on its first back-edge,
+	// including loops crossing REC/RCMP, which record as aux trace entries)
 	// and demands the traced run match the untraced one bit-for-bit:
-	// registers, memory, store stream, and the full energy account. The
-	// classic core gets the equivalent traced-vs-interpreted check on every
+	// registers, memory, store stream, the full energy account, and the
+	// amnesic runtime counters. The baseline machines run explicitly
+	// untraced so this arm really compares replay against pure
+	// interpretation. The classic core gets the equivalent check on every
 	// Check call regardless of this flag (it is cheap); TraceForce roughly
 	// doubles amnesic work, so the stress job opts in via -difftest.trace.
 	TraceForce bool
@@ -276,6 +279,10 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 		}
 		m.MaxInstrs = opts.MaxInstrs
 		m.TamperRTN = opts.TamperRTN
+		// The baseline arm interprets purely (amnesic machines default to
+		// tracing on) so the TraceForce arm below compares replay against
+		// genuine interpretation.
+		m.Trace = trace.Config{}
 		var stores []StoreEvent
 		m.StoreHook = func(addr, val uint64) {
 			stores = append(stores, StoreEvent{addr, val})
@@ -303,6 +310,7 @@ func Check(prog *isa.Program, initial *mem.Memory, opts Options) error {
 			}
 			cm.MaxInstrs = opts.MaxInstrs
 			cm.TamperRTN = opts.TamperRTN
+			cm.Trace = trace.Config{} // match the untraced baseline arm exactly
 			var cowStores []StoreEvent
 			cm.StoreHook = func(addr, val uint64) {
 				cowStores = append(cowStores, StoreEvent{addr, val})

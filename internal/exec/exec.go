@@ -200,6 +200,11 @@ func Run(env *Env, p *isa.Program) error {
 		eng = trace.NewEngine(env.Trace, n)
 		env.Engine = eng
 	}
+	// An Aux handler that can sign its REC/RCMP sites makes those kinds
+	// recordable: traces replay them through the live handler, and the
+	// signatures captured at record time let the handler invalidate traces
+	// when its recipe state changes (see trace.AuxSigger).
+	sigger, _ := env.Aux.(trace.AuxSigger)
 
 	// Flat windows held in locals, forming a two-entry data micro-TLB: the
 	// primary arena plus the region that serviced the most recent slow-path
@@ -226,8 +231,16 @@ func Run(env *Env, p *isa.Program) error {
 	// the compiler must assume aliased.
 	energyNJ, timeNS := acct.EnergyNJ, acct.TimeNS
 	loadNJ, storeNJ, nonMemNJ, fetchNJ := acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-	instrs, loadCnt, storeCnt := acct.Instrs, acct.Loads, acct.Stores
-	byCat := acct.ByCategory
+	instrs := acct.Instrs
+	// The integer counters are deltas, folded into the account additively at
+	// the exit below. Integer addition commutes, so deferring them across
+	// Aux handler calls — which increment the account's own fields directly —
+	// yields the same final totals as the interpreter-ordered updates, and
+	// the aux boundary round-trips only the order-sensitive float
+	// accumulators plus the budget-visible Instrs instead of copying the
+	// whole ByCategory array both ways.
+	var loadCnt, storeCnt uint64
+	var byCat [isa.NumCategories]uint64
 
 	// Parameter block for replayTrace and home of all mutable trace-engine
 	// state (see replay.go). rsh is address-taken, so its fields live on the
@@ -238,6 +251,7 @@ func Run(env *Env, p *isa.Program) error {
 		regs: regs, byCat: &byCat, nopSkips: env.NopSkips, storeHook: env.StoreHook,
 		code: code, pfx: env.prefix(), max: lim,
 		eng: eng, recHead: -1,
+		aux: env.Aux, acct: acct, sigger: sigger,
 		fetchE: fetchE, fetchT: fetchT, wbL2: wbL2, wbMem: wbMem, cycle: cycle,
 		charge: charge,
 	}
@@ -333,8 +347,9 @@ loop:
 			// over-long paths (e.g. a nested loop spinning inside the
 			// recording) blacklist the head instead.
 			if pc == rsh.recHead && len(rsh.recPath) > 0 {
-				nt := buildTrace(d, rsh.recPath, env.ElimNOP, &ct)
+				nt := buildTrace(d, rsh.recPath, env.ElimNOP, &ct, rsh.sigger)
 				rsh.traces[pc] = nt
+				eng.RegisterAuxSites(nt)
 				eng.Built++
 				eng.Replays++
 				rsh.recHead = -1
@@ -343,7 +358,8 @@ loop:
 				slow = slowReplay
 				continue loop
 			}
-			if !trace.Recordable(kinds[pc]) || len(rsh.recPath) >= rsh.maxOps {
+			if k := kinds[pc]; !(trace.Recordable(k) || (rsh.sigger != nil && trace.RecordableAux(k))) ||
+				len(rsh.recPath) >= rsh.maxOps {
 				eng.Blacklist(rsh.recHead)
 				rsh.recHead = -1
 				rsh.recPath = rsh.recPath[:0]
@@ -594,13 +610,11 @@ loop:
 			}
 			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
 			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-			acct.ByCategory = byCat
+			acct.Instrs = instrs
 			env.Aux.ExecRec(pc)
 			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
 			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
-			byCat = acct.ByCategory
+			instrs = acct.Instrs
 			pc++
 		case isa.KindRcmp:
 			if env.Aux == nil {
@@ -609,13 +623,11 @@ loop:
 			}
 			acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
 			acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-			acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-			acct.ByCategory = byCat
+			acct.Instrs = instrs
 			err := env.Aux.ExecRcmp(pc)
 			energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
 			loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
-			instrs, loadCnt, storeCnt = acct.Instrs, acct.Loads, acct.Stores
-			byCat = acct.ByCategory
+			instrs = acct.Instrs
 			if err != nil {
 				rerr = err
 				break loop
@@ -639,7 +651,11 @@ loop:
 	env.PC = pc
 	acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
 	acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
-	acct.Instrs, acct.Loads, acct.Stores = instrs, loadCnt, storeCnt
-	acct.ByCategory = byCat
+	acct.Instrs = instrs
+	acct.Loads += loadCnt
+	acct.Stores += storeCnt
+	for i := range byCat {
+		acct.ByCategory[i] += byCat[i]
+	}
 	return rerr
 }

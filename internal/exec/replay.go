@@ -36,6 +36,13 @@ type replayShared struct {
 	threshold uint32
 	maxOps    int
 
+	// Aux-replay state (amnesic runs): the live handler CRec/CRcmp ops call
+	// back into, the account they charge through (the flush/reload target),
+	// and the sigger that makes aux kinds recordable. All cold-path only.
+	aux    Aux
+	acct   *energy.Account
+	sigger trace.AuxSigger
+
 	// Mutable engine state the interpreter loop deliberately keeps OUT of
 	// its locals (each extra value live across the dispatch switch costs
 	// spills in the hot cases — see Run): curTr is the trace pending replay
@@ -124,7 +131,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CAddi:
 				v := regs[op.Src1&31] + uint64(op.Imm)
@@ -135,7 +142,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CLi:
 				if dst := op.Dst & 31; dst != 0 {
@@ -145,7 +152,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CMov:
 				if dst := op.Dst & 31; dst != 0 {
@@ -155,7 +162,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CSub:
 				v := regs[op.Src1&31] - regs[op.Src2&31]
@@ -166,7 +173,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CMul:
 				v := regs[op.Src1&31] * regs[op.Src2&31]
@@ -177,7 +184,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CAnd:
 				v := regs[op.Src1&31] & regs[op.Src2&31]
@@ -188,7 +195,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.COr:
 				v := regs[op.Src1&31] | regs[op.Src2&31]
@@ -199,7 +206,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CXor:
 				v := regs[op.Src1&31] ^ regs[op.Src2&31]
@@ -210,7 +217,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CShl:
 				v := regs[op.Src1&31] << (regs[op.Src2&31] & 63)
@@ -221,7 +228,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CShr:
 				v := regs[op.Src1&31] >> (regs[op.Src2&31] & 63)
@@ -232,7 +239,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CSlt:
 				var v uint64
@@ -246,7 +253,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CSeq:
 				var v uint64
@@ -260,7 +267,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CAluGen:
 				v := isa.EvalComputeOp(op.AOp, op.Imm, regs[op.Src1&31], regs[op.Src2&31], regs[op.Dst&31])
@@ -271,7 +278,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 			case trace.CLoad:
 				addr := regs[op.Src1&31] + uint64(op.Imm)
@@ -361,7 +368,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[isa.CatNop]++
 				if op.Elim {
 					*nopSkips++
@@ -371,14 +378,14 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[isa.CatBranch]++
 			case trace.CGuard:
 				e := op.ENJ
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[isa.CatBranch]++
 				if isa.BranchTaken(op.BOp, regs[op.BSrc1&31], regs[op.BSrc2&31]) != op.Taken {
 					// Cold path: go through sh rather than locals so the
@@ -433,7 +440,7 @@ chain:
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
+				instrs += uint64(op.NBat)
 				catCnt[op.Cat&15]++
 				// Guard half (second original instruction).
 				if charge {
@@ -441,11 +448,12 @@ chain:
 					fetchNJ += fetchE
 					timeNS += fetchT
 				}
+				// The guard's retire count is folded into this op's NBat
+				// (weight 2: ALU + branch) applied at the ALU half above.
 				e = op.ENJ2
 				energyNJ += e
 				nonMemNJ += e
 				timeNS += cycle
-				instrs++
 				catCnt[isa.CatBranch]++
 				ga, gb := regs[op.BSrc1&31], regs[op.BSrc2&31]
 				if op.Fwd&1 != 0 {
@@ -654,6 +662,49 @@ chain:
 				if storeHook != nil {
 					storeHook(addr, val)
 				}
+			case trace.CRec, trace.CRcmp:
+				// Cold path: the live amnesic handler executes the op exactly
+				// as the interpreter would — slice traversal, policy decision,
+				// Hist/SFile/IBuff state, and accounting all take the same
+				// code path. The handler charges through the account directly,
+				// so the order-sensitive float accumulators and the
+				// budget-visible Instrs round-trip by value; the batched
+				// integer category counts stay local (they are deltas the
+				// exit below folds additively, and integer addition commutes
+				// with the handler's own increments).
+				acct := sh.acct
+				acct.EnergyNJ, acct.TimeNS = energyNJ, timeNS
+				acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ = loadNJ, storeNJ, nonMemNJ, fetchNJ
+				acct.Instrs = instrs
+				var aerr error
+				if op.Code == trace.CRec {
+					sh.aux.ExecRec(int(op.PC))
+				} else {
+					aerr = sh.aux.ExecRcmp(int(op.PC))
+				}
+				energyNJ, timeNS = acct.EnergyNJ, acct.TimeNS
+				loadNJ, storeNJ, nonMemNJ, fetchNJ = acct.LoadNJ, acct.StoreNJ, acct.NonMemNJ, acct.FetchNJ
+				instrs = acct.Instrs
+				if aerr != nil {
+					// The outcome guard: an erroring RCMP side-exits with the
+					// interpreter's wrapped error at the faulting pc.
+					pc = int(op.PC)
+					rerr = aerr
+					break chain
+				}
+				// An RCMP that fired recomputation retired slice-body
+				// instructions beyond this iteration's NInstr, so the
+				// chain-top budget check no longer covers the rest of the
+				// iteration. Conservatively hand the tail to the interpreter,
+				// which applies the exact per-instruction budget rule; when
+				// the aux op closed the iteration, pc already holds the
+				// current trace head.
+				if instrs+need > max {
+					if i+1 < len(trOps) {
+						pc = int(trOps[i+1].PC)
+					}
+					break chain
+				}
 			}
 		}
 	}
@@ -677,13 +728,15 @@ chain:
 // precomputed non-memory energy charges so replay skips the per-op category
 // table lookup. The values come from the same ChargeTable the interpreter
 // accumulates from, so the totals stay bit-identical.
-func buildTrace(d *isa.Decoded, path []int32, elim []bool, ct *ChargeTable) *trace.Trace {
-	nt := trace.Build(d, path, elim)
+func buildTrace(d *isa.Decoded, path []int32, elim []bool, ct *ChargeTable, sig trace.AuxSigger) *trace.Trace {
+	nt := trace.Build(d, path, elim, sig)
 	for i := range nt.Ops {
 		op := &nt.Ops[i]
 		switch op.Code {
 		case trace.CLoad, trace.CStore:
 			// Charge depends on the serviced level at runtime.
+		case trace.CRec, trace.CRcmp:
+			// The live handler does all the charging.
 		case trace.CNop:
 			op.ENJ = ct.EPI[isa.CatNop]
 		case trace.CBrCharge, trace.CGuard:

@@ -19,6 +19,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/policy"
 	"github.com/amnesiac-sim/amnesiac/internal/profile"
 	"github.com/amnesiac-sim/amnesiac/internal/stats"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 	"github.com/amnesiac-sim/amnesiac/internal/uarch"
 	"github.com/amnesiac-sim/amnesiac/internal/workloads"
 )
@@ -60,6 +61,11 @@ type Config struct {
 	// concurrently from worker goroutines; callers must synchronize.
 	// Progress observers must not mutate cfg or the results.
 	Progress func(Progress)
+	// TraceObs, when non-nil, accumulates trace-engine statistics (traces
+	// built/blacklisted, replays, replay coverage) from every amnesic policy
+	// run into one aggregate. It is safe for concurrent observation; the
+	// server threads a per-job Agg through here for /metrics and job status.
+	TraceObs *trace.Agg
 }
 
 // Progress reports one completed unit of RunSuite work. A suite over N
@@ -192,6 +198,9 @@ func RunPolicy(cfg Config, binary *compiler.Annotated, img *mem.Image, classic *
 	machine.MaxInstrs = cfg.MaxInstrs
 	if err := machine.Run(); err != nil {
 		return nil, err
+	}
+	if cfg.TraceObs != nil {
+		cfg.TraceObs.Observe(machine.Engine, machine.Acct.Instrs)
 	}
 	run := &PolicyRun{
 		Label: label,

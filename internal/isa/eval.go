@@ -92,19 +92,27 @@ func EvalComputeOp(op Op, imm int64, a, b, dstOld uint64) uint64 {
 // BranchTaken evaluates a conditional/unconditional branch condition given
 // the operand values. JMP is always taken. Panics on non-branch opcodes.
 func BranchTaken(op Op, a, b uint64) bool {
-	switch op {
-	case BEQ:
-		return a == b
-	case BNE:
-		return a != b
-	case BLT:
-		return int64(a) < int64(b)
-	case BGE:
-		return int64(a) >= int64(b)
-	case JMP:
-		return true
+	// BEQ..BGE are contiguous: d selects the comparison (equality for
+	// BEQ/BNE, signed less-than for BLT/BGE) and its low bit the negation
+	// (BNE, BGE). Written this way — rather than as a five-case switch,
+	// and with a constant panic string (any out-of-line call would be
+	// charged the full call cost) — the function fits the inlining
+	// budget; branch resolution is on the per-instruction hot path of
+	// both the interpreter and trace replay.
+	d := op - BEQ // Op is unsigned: ops below BEQ wrap past BGE-BEQ
+	if d > BGE-BEQ {
+		if op == JMP {
+			return true
+		}
+		panic("isa: BranchTaken on non-branch opcode")
 	}
-	panic("isa: BranchTaken on non-branch opcode " + op.String())
+	var r bool
+	if d >= BLT-BEQ {
+		r = int64(a) < int64(b)
+	} else {
+		r = a == b
+	}
+	return r == (d&1 == 0)
 }
 
 func ff(x uint64) float64 { return math.Float64frombits(x) }

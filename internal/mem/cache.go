@@ -29,18 +29,22 @@ func (c CacheConfig) Validate() error {
 	return nil
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // larger = more recently used
-}
-
 // Cache is one set-associative, LRU, write-back, write-allocate cache level
 // tracking tags only (data is served by Memory).
+//
+// The ways of a set live in parallel arrays rather than an array of line
+// structs: the tag-match scan — the operation every simulated load, store,
+// and policy probe performs — walks assoc consecutive uint64s (one host
+// cache line for 8-way sets) and touches the LRU/dirty arrays only on a
+// hit or during victim selection. Tags are stored biased by one so zero
+// means "invalid way" and the scan needs no separate valid-bit check; real
+// tags are at most 64-lineShift-setShift bits, so the bias cannot wrap.
 type Cache struct {
 	cfg       CacheConfig
-	sets      [][]line
+	tags      []uint64 // tag+1 per way, 0 = invalid; indexed set*assoc+way
+	dirty     []bool
+	lru       []uint64 // larger = more recently used
+	assoc     int
 	lineShift uint
 	setShift  uint
 	setMask   uint64
@@ -59,11 +63,7 @@ func NewCache(cfg CacheConfig) *Cache {
 		panic("mem: " + err.Error())
 	}
 	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
+	nways := nsets * cfg.Assoc
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
 		shift++
@@ -72,22 +72,28 @@ func NewCache(cfg CacheConfig) *Cache {
 	for 1<<setShift < nsets {
 		setShift++
 	}
-	return &Cache{cfg: cfg, sets: sets, lineShift: shift, setShift: setShift, setMask: uint64(nsets - 1)}
+	return &Cache{
+		cfg:  cfg,
+		tags: make([]uint64, nways), dirty: make([]bool, nways), lru: make([]uint64, nways),
+		assoc: cfg.Assoc, lineShift: shift, setShift: setShift, setMask: uint64(nsets - 1),
+	}
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+// locate returns the index of the first way of addr's set and the biased
+// tag value a resident line would carry.
+func (c *Cache) locate(addr uint64) (base int, want uint64) {
 	lineAddr := addr >> c.lineShift
-	return c.sets[lineAddr&c.setMask], lineAddr >> c.setShift
+	return int(lineAddr&c.setMask) * c.assoc, lineAddr>>c.setShift + 1
 }
 
 // Contains reports whether addr hits without touching LRU state or stats.
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base, want := c.locate(addr)
+	for _, t := range c.tags[base : base+c.assoc] {
+		if t == want {
 			return true
 		}
 	}
@@ -101,61 +107,67 @@ func (c *Cache) Contains(addr uint64) bool {
 // values only matter relatively, so the extra tick cannot reorder any LRU
 // decision) and counts nothing — the follow-up Access records the miss.
 func (c *Cache) ProbeHit(addr uint64, write bool) bool {
-	set, tag := c.locate(addr)
+	base, want := c.locate(addr)
 	c.clock++
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.clock
-			if write {
-				set[i].dirty = true
-			}
-			c.Hits++
-			return true
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == want {
+			return c.probeUpdate(i, write)
 		}
 	}
 	return false
+}
+
+// probeUpdate applies the hit-path bookkeeping for way i. Split from
+// ProbeHit so the scan itself stays within the inlining budget — the
+// probe is the single hottest call in both interpretation and replay.
+func (c *Cache) probeUpdate(i int, write bool) bool {
+	c.lru[i] = c.clock
+	if write {
+		c.dirty[i] = true
+	}
+	c.Hits++
+	return true
 }
 
 // Access looks up addr, updating LRU and stats. On a miss it allocates the
 // line, evicting the LRU way; evictedDirty reports whether a dirty victim
 // was written back. write marks the (possibly newly allocated) line dirty.
 func (c *Cache) Access(addr uint64, write bool) (hit, evictedDirty bool) {
-	set, tag := c.locate(addr)
+	base, want := c.locate(addr)
 	c.clock++
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.clock
+	victim := base
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == want {
+			c.lru[i] = c.clock
 			if write {
-				set[i].dirty = true
+				c.dirty[i] = true
 			}
 			c.Hits++
 			return true, false
 		}
-		if !set[i].valid {
+		if c.tags[i] == 0 {
 			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
+		} else if c.tags[victim] != 0 && c.lru[i] < c.lru[victim] {
 			victim = i
 		}
 	}
 	c.Misses++
-	v := &set[victim]
-	if v.valid {
+	if c.tags[victim] != 0 {
 		c.Evictions++
-		evictedDirty = v.dirty
+		evictedDirty = c.dirty[victim]
 	}
-	v.valid, v.tag, v.dirty, v.lru = true, tag, write, c.clock
+	c.tags[victim], c.dirty[victim], c.lru[victim] = want, write, c.clock
 	return false, evictedDirty
 }
 
 // Invalidate drops the line containing addr if present, returning whether it
 // was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			d := set[i].dirty
-			set[i] = line{}
+	base, want := c.locate(addr)
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == want {
+			d := c.dirty[i]
+			c.tags[i], c.dirty[i], c.lru[i] = 0, false, 0
 			return true, d
 		}
 	}
@@ -166,11 +178,9 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // accounting).
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, l := range set {
-			if l.valid && l.dirty {
-				n++
-			}
+	for i, t := range c.tags {
+		if t != 0 && c.dirty[i] {
+			n++
 		}
 	}
 	return n
@@ -181,17 +191,12 @@ func (c *Cache) ResetStats() { c.Hits, c.Misses, c.Evictions = 0, 0, 0 }
 
 // Clone returns a deep copy: tags, LRU state, clock and stats all carry
 // over, so a run resumed on the clone services exactly the hit/miss
-// sequence the original would have. The copy keeps the single contiguous
-// backing array layout NewCache builds.
+// sequence the original would have.
 func (c *Cache) Clone() *Cache {
 	nc := *c
-	nsets, assoc := len(c.sets), c.cfg.Assoc
-	backing := make([]line, nsets*assoc)
-	nc.sets = make([][]line, nsets)
-	for i := range nc.sets {
-		nc.sets[i] = backing[i*assoc : (i+1)*assoc]
-		copy(nc.sets[i], c.sets[i])
-	}
+	nc.tags = append([]uint64(nil), c.tags...)
+	nc.dirty = append([]bool(nil), c.dirty...)
+	nc.lru = append([]uint64(nil), c.lru...)
 	return &nc
 }
 

@@ -353,6 +353,18 @@ func (m *Memory) grown(base uint64, words []uint64, lim, minLen uint64) []uint64
 	for newLen < minLen {
 		newLen *= 2
 	}
+	// When extending an established region, overshoot one extra doubling:
+	// a region that keeps creeping upward (a kernel streaming through its
+	// output array) then skips every other rung of the growth ladder,
+	// cutting the total words zeroed and copied across its lifetime by
+	// about a third. Unwritten words read as zero either way, and the
+	// page-migration loop below keeps any swallowed page-map pages
+	// visible, so a wider window is semantically identical to a tight
+	// one. Fresh anchors stay at the minimal size: address clusters that
+	// never grow shouldn't pay for speculative width.
+	if len(words) > 0 && newLen < lim/2 {
+		newLen *= 2
+	}
 	if newLen > lim {
 		newLen = lim
 	}

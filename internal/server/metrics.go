@@ -11,6 +11,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
 	"github.com/amnesiac-sim/amnesiac/internal/cluster"
 	"github.com/amnesiac-sim/amnesiac/internal/store"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 )
 
 type metrics struct {
@@ -25,6 +26,26 @@ type metrics struct {
 	stolen      atomic.Uint64 // jobs this replica stole from peers
 	stealHanded atomic.Uint64 // queued jobs handed out to stealing peers
 	running     atomic.Int64  // gauge
+
+	// Trace-engine activity aggregated over every amnesic simulation the
+	// suite jobs on this replica executed (see trace.Stats).
+	tracesBuilt         atomic.Uint64
+	tracesBlacklisted   atomic.Uint64
+	traceInvalidations  atomic.Uint64
+	traceReplays        atomic.Uint64
+	traceReplayedInstrs atomic.Uint64
+	traceTotalInstrs    atomic.Uint64
+}
+
+// observeTrace folds one finished job's trace-engine aggregate into the
+// service counters.
+func (m *metrics) observeTrace(s trace.Stats) {
+	m.tracesBuilt.Add(s.Built)
+	m.tracesBlacklisted.Add(s.Blacklisted)
+	m.traceInvalidations.Add(s.Invalidations)
+	m.traceReplays.Add(s.Replays)
+	m.traceReplayedInstrs.Add(s.ReplayedInstrs)
+	m.traceTotalInstrs.Add(s.TotalInstrs)
 }
 
 // write renders the counters plus cache, store, cluster, and queue gauges.
@@ -55,6 +76,14 @@ func (m *metrics) write(w io.Writer, cs CacheStats, ps PreparedStats, ss store.S
 	counter("prepared_image_hits_total", "job prewarms served by a resident prepared image", ps.Hits)
 	counter("prepared_image_misses_total", "job prewarms that built the prepared image", ps.Misses)
 	gauge("prepared_images", "sealed prepared images currently resident", int64(ps.Entries))
+	counter("traces_built_total", "superblock traces recorded by amnesic simulations", m.tracesBuilt.Load())
+	counter("traces_blacklisted_total", "trace heads tombstoned as unrecordable", m.tracesBlacklisted.Load())
+	counter("trace_invalidations_total", "traces invalidated (tombstone drops + stale recipe sets)", m.traceInvalidations.Load())
+	counter("trace_replays_total", "trace replay activations", m.traceReplays.Load())
+	counter("trace_replayed_instrs_total", "instructions retired through trace replay", m.traceReplayedInstrs.Load())
+	counter("trace_instrs_total", "instructions retired by traced amnesic simulations", m.traceTotalInstrs.Load())
+	cov := trace.Stats{ReplayedInstrs: m.traceReplayedInstrs.Load(), TotalInstrs: m.traceTotalInstrs.Load()}.Coverage()
+	fmt.Fprintf(w, "# HELP amnesiacd_trace_replay_coverage_pct replayed instructions as %% of all amnesic-simulation instructions\n# TYPE amnesiacd_trace_replay_coverage_pct gauge\namnesiacd_trace_replay_coverage_pct %g\n", cov)
 	counter("peer_proxied_jobs_total", "submissions proxied to their key's ring owner", m.proxied.Load())
 	counter("peer_stolen_jobs_total", "jobs stolen from peers and executed here", m.stolen.Load())
 	counter("peer_steal_handed_total", "queued jobs handed out to stealing peers", m.stealHanded.Load())

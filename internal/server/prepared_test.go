@@ -16,7 +16,7 @@ func TestPreparedImageReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.run(context.Background(), suite, emit); err != nil {
+	if _, err := r.run(context.Background(), suite, emit, nil); err != nil {
 		t.Fatal(err)
 	}
 	ps := r.prepared.stats()
@@ -30,7 +30,7 @@ func TestPreparedImageReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.run(context.Background(), ckpt, emit); err != nil {
+	if _, err := r.run(context.Background(), ckpt, emit, nil); err != nil {
 		t.Fatal(err)
 	}
 	ps = r.prepared.stats()
@@ -46,7 +46,7 @@ func TestPreparedImageReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.run(context.Background(), other, emit); err != nil {
+	if _, err := r.run(context.Background(), other, emit, nil); err != nil {
 		t.Fatal(err)
 	}
 	ps = r.prepared.stats()

@@ -12,6 +12,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 )
 
 // Job states, as reported by GET /v1/jobs/{id}.
@@ -65,6 +67,7 @@ type job struct {
 	storeHit  bool   // cache hit served from the durable disk store
 	remote    string // peer URL executing this stolen job ("" = local)
 	coalesced int    // extra submissions that attached to this execution
+	trace     *TraceStatus
 	result    []byte
 	events    []Event // replay buffer for late SSE subscribers
 	subs      map[chan Event]struct{}
@@ -208,6 +211,36 @@ type JobStatus struct {
 	ReportURL string `json:"report_url,omitempty"`
 	// EventsURL streams progress (SSE) for the job's lifetime.
 	EventsURL string `json:"events_url"`
+	// Trace summarizes the trace-engine activity of the job's amnesic
+	// simulations; omitted for jobs that ran none (cache hits, difftest).
+	Trace *TraceStatus `json:"trace,omitempty"`
+}
+
+// TraceStatus is the JSON rendering of a job's aggregated trace-engine
+// counters (see trace.Stats).
+type TraceStatus struct {
+	Built          uint64  `json:"built"`
+	Blacklisted    uint64  `json:"blacklisted"`
+	Invalidations  uint64  `json:"invalidations"`
+	Replays        uint64  `json:"replays"`
+	ReplayedInstrs uint64  `json:"replayed_instrs"`
+	TotalInstrs    uint64  `json:"total_instrs"`
+	CoveragePct    float64 `json:"coverage_pct"`
+}
+
+// setTrace records the job's trace-engine aggregate for status rendering.
+func (j *job) setTrace(s trace.Stats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.trace = &TraceStatus{
+		Built:          s.Built,
+		Blacklisted:    s.Blacklisted,
+		Invalidations:  s.Invalidations,
+		Replays:        s.Replays,
+		ReplayedInstrs: s.ReplayedInstrs,
+		TotalInstrs:    s.TotalInstrs,
+		CoveragePct:    s.Coverage(),
+	}
 }
 
 // jobQueue is the bounded execution deque. tryPush appends to the back
@@ -323,6 +356,10 @@ func (j *job) status() JobStatus {
 	}
 	if j.state == StateDone {
 		st.ReportURL = "/v1/reports/" + j.key
+	}
+	if j.trace != nil {
+		t := *j.trace
+		st.Trace = &t
 	}
 	return st
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/difftest"
 	"github.com/amnesiac-sim/amnesiac/internal/energy"
 	"github.com/amnesiac-sim/amnesiac/internal/harness"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 	"github.com/amnesiac-sim/amnesiac/internal/workloads"
 )
 
@@ -124,8 +125,11 @@ func newRunner(simWorkers int) *runner {
 }
 
 // run executes spec and returns the marshaled report. emit receives
-// progress events; it must be safe for concurrent use (job.emit is).
-func (r *runner) run(ctx context.Context, spec JobSpec, emit func(Event)) ([]byte, error) {
+// progress events; it must be safe for concurrent use (job.emit is). obs,
+// when non-nil, accumulates trace-engine statistics from the job's amnesic
+// simulations (suite kinds only — difftest's oracle arms manage their own
+// trace configuration).
+func (r *runner) run(ctx context.Context, spec JobSpec, emit func(Event), obs *trace.Agg) ([]byte, error) {
 	if r.hook != nil {
 		r.hook(spec)
 	}
@@ -135,7 +139,7 @@ func (r *runner) run(ctx context.Context, spec JobSpec, emit func(Event)) ([]byt
 	var err error
 	switch spec.Kind {
 	case KindSuite:
-		rep.Suite, err = r.runSuite(ctx, spec, emit)
+		rep.Suite, err = r.runSuite(ctx, spec, emit, obs)
 	case KindBreakEven:
 		rep.BreakEven, err = r.runBreakEven(ctx, spec, emit)
 	case KindDifftest:
@@ -165,7 +169,7 @@ func (r *runner) config(spec JobSpec) harness.Config {
 	return cfg
 }
 
-func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event)) ([]WorkloadReport, error) {
+func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event), obs *trace.Agg) ([]WorkloadReport, error) {
 	ws := make([]*workloads.Workload, len(spec.Workloads))
 	for i, name := range spec.Workloads {
 		w, err := workloads.Get(name)
@@ -181,6 +185,7 @@ func (r *runner) runSuite(ctx context.Context, spec JobSpec, emit func(Event)) (
 	// Execute only the requested policies: a subset spec pays for exactly
 	// the simulations it asked for, and SSE Total counts only those stages.
 	cfg.Policies = spec.Policies
+	cfg.TraceObs = obs
 	cfg.Progress = func(p harness.Progress) {
 		emit(Event{Type: "progress", Workload: p.Workload, Stage: p.Stage, Done: p.Done, Total: p.Total})
 	}

@@ -41,6 +41,7 @@ import (
 	"github.com/amnesiac-sim/amnesiac/internal/buildinfo"
 	"github.com/amnesiac-sim/amnesiac/internal/cluster"
 	"github.com/amnesiac-sim/amnesiac/internal/store"
+	"github.com/amnesiac-sim/amnesiac/internal/trace"
 )
 
 // Config sizes the service. Zero values take the stated defaults.
@@ -371,8 +372,13 @@ func (s *Server) runJob(j *job) {
 
 	s.met.running.Add(1)
 	j.emit(Event{Type: "state", State: StateRunning})
-	data, err := s.runner.run(ctx, j.spec, j.emit)
+	obs := new(trace.Agg)
+	data, err := s.runner.run(ctx, j.spec, j.emit, obs)
 	s.met.running.Add(-1)
+	if ts := obs.Load(); ts.TotalInstrs > 0 {
+		s.met.observeTrace(ts)
+		j.setTrace(ts)
+	}
 
 	switch {
 	case err == nil:

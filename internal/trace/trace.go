@@ -23,18 +23,37 @@
 //     their own lateral traces and chained replay covers loop nests, not
 //     just single loops;
 //   - invalidate: heads whose recording crosses an untraceable instruction
-//     (HALT, the amnesic opcodes) or exceeds Config.MaxOps are blacklisted
-//     with a tombstone and never re-recorded. An outer loop whose body is
-//     too large simply blacklists at MaxOps; recording closes when any
-//     control transfer returns to the head, so multi-back-edge and nested
-//     paths that fit are recorded as-is.
+//     (HALT, RTN) or exceeds Config.MaxOps are blacklisted with a tombstone
+//     and never re-recorded. An outer loop whose body is too large simply
+//     blacklists at MaxOps; recording closes when any control transfer
+//     returns to the head, so multi-back-edge and nested paths that fit are
+//     recorded as-is.
+//
+// The amnesic opcodes REC and RCMP are recordable when the executor
+// provides an AuxSigger: they become CRec/CRcmp trace entries that replay
+// by calling back into the live amnesic handlers (exec.Aux), so slice
+// traversal, policy decisions, Hist/SFile/IBuff state, and energy
+// accounting all follow the interpreter's exact code path. Each entry
+// captures the site's recipe signature (AuxSig) at record time; when the
+// machine's recipe state changes — a REC overflow permanently failing a
+// slice — Engine.InvalidateStale drops every trace whose captured
+// signatures went stale so the head re-records against the new recipe set.
+// An RCMP whose handler errors side-exits the replay at the faulting pc
+// with the interpreter's error, preserving bit-identical store streams and
+// energy accounts (the outcome guard).
 //
 // Replay preserves bit-identical architectural and energy behaviour: every
 // original instruction keeps its own fetch/energy/latency charge, applied
 // in exactly the interpreter's order (floating-point accumulation is not
-// associative, so charges are never batched or reordered), every memory op
-// still probes the cache hierarchy, and fused pairs still write the first
-// op's destination register architecturally.
+// associative, so FP charges are never batched or reordered), every memory
+// op still probes the cache hierarchy, and fused pairs still write the
+// first op's destination register architecturally. The one charge replay
+// does batch is the integer dynamic-instruction counter: integer addition
+// is exact, so Build pre-sums the per-op increments of every run of ops
+// that provably retires atomically — no guard, memory access, or aux call
+// between them, guards allowed only as the final op since a branch retires
+// whichever way it resolves — into Op.NBat on the run's first op
+// (dead-charge batching), collapsing the per-instruction counter chain.
 package trace
 
 import "github.com/amnesiac-sim/amnesiac/internal/isa"
@@ -104,10 +123,14 @@ const (
 	CAluGuard // ALU + conditional branch consuming its result
 	CLoadAlu  // load + ALU consuming the loaded value
 	CAluStore // ALU + store consuming its result (value and/or address base)
+	// Amnesic aux ops: replay calls back into the live exec.Aux handler so
+	// the amnesic machine's checkpoint/recompute logic runs unchanged.
+	CRec
+	CRcmp
 )
 
 // nCodes is the number of replay codes (for tests).
-const nCodes = int(CAluStore) + 1
+const nCodes = int(CRcmp) + 1
 
 // Op is one replay operation. Register fields are pre-masked (&31). For
 // fused codes the A-fields (AOp/Dst/Src1/Src2/Imm/Cat/PC) describe the
@@ -148,6 +171,20 @@ type Op struct {
 	// CStore, the load half of CLoadAlu, the store half of CAluStore) ignore
 	// them: their charge depends on the serviced cache level at runtime.
 	ENJ, ENJ2 float64
+	// AuxSig is the recipe signature CRec/CRcmp captured at record time
+	// (AuxSigger.AuxSig); Engine.InvalidateStale compares it against the
+	// site's live signature to drop stale traces.
+	AuxSig uint64
+	// NBat is the dead-charge batch weight: the total number of original
+	// instructions retired by the maximal guard-/memory-/aux-free run of
+	// ops starting here (a trailing guard is included — a branch retires
+	// whichever way it resolves). Replay adds NBat to the instruction
+	// counter at the run's first op and 0 at the interior ops, collapsing
+	// the per-instruction counter chain; integer addition is exact, so the
+	// totals at every observation point (side exit, aux flush, return) are
+	// unchanged. Ops that can fault or call out (memory, aux) keep NBat 0
+	// and count positionally in their own replay case.
+	NBat uint32
 }
 
 // Trace is one compiled superblock: a complete loop iteration anchored at
@@ -180,6 +217,19 @@ type Engine struct {
 	// ReplayedInstrs counts original instructions retired under replay —
 	// the engine's dynamic coverage, next to Account.Instrs.
 	ReplayedInstrs uint64
+	// Invalidations counts traces dropped by InvalidateStale because a
+	// captured aux signature no longer matched the live recipe state.
+	Invalidations uint64
+
+	// auxIndex maps a trace head to the CRec/CRcmp sites its body captured,
+	// so InvalidateStale re-signs only traces that contain aux ops.
+	auxIndex map[int32][]auxSite
+}
+
+// auxSite is one recorded aux op: its pc and the signature captured there.
+type auxSite struct {
+	pc  int32
+	sig uint64
 }
 
 // NewEngine builds an engine for a program of progLen instructions,
@@ -204,13 +254,73 @@ func (e *Engine) Blacklist(head int) {
 func (e *Engine) Invalidate(head int) {
 	e.Traces[head] = nil
 	e.Counts[head] = 0
+	delete(e.auxIndex, int32(head))
+}
+
+// RegisterAuxSites records the CRec/CRcmp sites of a freshly built trace so
+// InvalidateStale can later re-sign them. Traces without aux ops are not
+// indexed; the executor calls this on every build.
+func (e *Engine) RegisterAuxSites(tr *Trace) {
+	var sites []auxSite
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Code == CRec || op.Code == CRcmp {
+			sites = append(sites, auxSite{pc: op.PC, sig: op.AuxSig})
+		}
+	}
+	if sites == nil {
+		return
+	}
+	if e.auxIndex == nil {
+		e.auxIndex = make(map[int32][]auxSite)
+	}
+	e.auxIndex[tr.Head] = sites
+}
+
+// InvalidateStale drops every trace holding an aux site whose captured
+// signature no longer matches sig's live answer — the recipe-change
+// invalidation hook. The amnesic machine calls it when a REC overflow
+// permanently fails a slice; replay itself never consults the captured
+// signatures (it always calls the live handlers, which read live state),
+// so a trace replaying concurrently with its invalidation stays correct
+// and simply re-records on the next head arrival.
+func (e *Engine) InvalidateStale(sig AuxSigger) {
+	for head, sites := range e.auxIndex {
+		for _, s := range sites {
+			if sig.AuxSig(int(s.pc)) != s.sig {
+				e.Invalidate(int(head))
+				e.Invalidations++
+				break
+			}
+		}
+	}
 }
 
 // Recordable reports whether an instruction kind may appear on a recorded
 // path. HALT, the amnesic opcodes, and undecodable instructions abort and
 // blacklist the recording head (their handlers leave the dispatch loop or
-// call out to stateful handlers replay cannot reproduce).
+// call out to stateful handlers replay cannot reproduce). RecordableAux
+// widens the set for executors that provide an AuxSigger.
 func Recordable(k isa.Kind) bool { return k < isa.KindHalt }
+
+// RecordableAux reports whether a kind may appear on a recorded path when
+// the executor's Aux handler implements AuxSigger: the plain recordable
+// set plus REC and RCMP, which replay through the live handler. RTN stays
+// unrecordable — top-level RTN is a terminal error, and slice bodies are
+// traversed inside the RCMP handler, never fetched by the dispatch loop.
+func RecordableAux(k isa.Kind) bool {
+	return k < isa.KindHalt || k == isa.KindRec || k == isa.KindRcmp
+}
+
+// AuxSigger is implemented by Aux handlers whose REC/RCMP sites may be
+// recorded into traces. AuxSig returns a signature of everything at pc
+// that shapes the handler's control decisions — for a REC the resolved
+// checkpoint spec, for an RCMP the slice identity plus its failed bit. A
+// changed signature marks every trace that captured the old one stale
+// (see Engine.InvalidateStale).
+type AuxSigger interface {
+	AuxSig(pc int) uint64
+}
 
 // aluCode maps an inline-evaluated compute opcode to its specialized replay
 // code; everything else is CAluGen.
@@ -253,9 +363,12 @@ func isALU(c Code) bool { return c <= CAluGen }
 // the sequence of retired PCs for one complete loop iteration: it starts at
 // the head and ends with the loop-closing branch whose execution returned
 // to the head. elim (may be nil) marks eliminated-store NOPs for amnesic
-// statistics. Build panics on kinds the recorder must have filtered
-// (see Recordable); that is an internal invariant, not an input error.
-func Build(d *isa.Decoded, path []int32, elim []bool) *Trace {
+// statistics. sig captures aux signatures for REC/RCMP sites; it must be
+// non-nil when the path contains them (the recorder only admits aux kinds
+// when the executor provides an AuxSigger). Build panics on kinds the
+// recorder must have filtered (see Recordable/RecordableAux); that is an
+// internal invariant, not an input error.
+func Build(d *isa.Decoded, path []int32, elim []bool, sig AuxSigger) *Trace {
 	head := path[0]
 	raw := make([]Op, 0, len(path))
 	for j, pc := range path {
@@ -301,12 +414,65 @@ func Build(d *isa.Decoded, path []int32, elim []bool) *Trace {
 			} else {
 				op.ExitPC = target
 			}
+		case isa.KindRec:
+			op.Code = CRec
+			op.AuxSig = sig.AuxSig(int(pc))
+		case isa.KindRcmp:
+			op.Code = CRcmp
+			op.AuxSig = sig.AuxSig(int(pc))
 		default:
 			panic("trace: unrecordable kind on recorded path")
 		}
 		raw = append(raw, op)
 	}
-	return &Trace{Head: head, Ops: fuse(raw), NInstr: uint64(len(path))}
+	ops := fuse(raw)
+	batchDeadCharges(ops)
+	return &Trace{Head: head, Ops: ops, NInstr: uint64(len(path))}
+}
+
+// batchWeight is an op's dead-charge batch contribution: the number of
+// original instructions it retires, or 0 for ops that may fault, side-exit
+// before fully retiring, or call out to a handler that counts for itself —
+// those count positionally in their own replay case.
+func batchWeight(c Code) uint32 {
+	switch c {
+	case CLoad, CStore, CLoadAlu, CAluStore, CRec, CRcmp:
+		return 0
+	case CAluGuard:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// batchDeadCharges pre-sums the per-op instruction-counter increments of
+// every maximal run of batchable ops into the run's first op (Op.NBat);
+// interior ops stay 0. A guard terminates its run inclusively: the branch
+// instruction retires whether or not it side-exits, so its count is safe
+// to front-load, while everything after a potential exit starts a new run.
+// Only the integer instruction counter is batched — FP energy accumulation
+// is order-sensitive and stays strictly per-op.
+func batchDeadCharges(ops []Op) {
+	for i := 0; i < len(ops); {
+		if batchWeight(ops[i].Code) == 0 {
+			i++
+			continue
+		}
+		head, total := i, uint32(0)
+		for i < len(ops) {
+			c := ops[i].Code
+			w := batchWeight(c)
+			if w == 0 {
+				break
+			}
+			total += w
+			i++
+			if c == CGuard || c == CAluGuard {
+				break
+			}
+		}
+		ops[head].NBat = total
+	}
 }
 
 // fuse collapses adjacent op pairs into superinstructions. A pair fuses

@@ -32,7 +32,7 @@ loop:
     halt
 `)
 	path := []int32{0, 1, 2, 3, 4, 5}
-	tr := trace.Build(d, path, nil)
+	tr := trace.Build(d, path, nil, nil)
 	if tr.Head != 0 || tr.NInstr != 6 {
 		t.Fatalf("head=%d ninstr=%d, want 0/6", tr.Head, tr.NInstr)
 	}
@@ -67,7 +67,7 @@ out:
     halt
 `)
 	path := []int32{0, 1, 2, 3}
-	tr := trace.Build(d, path, nil)
+	tr := trace.Build(d, path, nil, nil)
 	if len(tr.Ops) != 3 {
 		t.Fatalf("got %d ops, want 3: %+v", len(tr.Ops), tr.Ops)
 	}
@@ -91,7 +91,7 @@ func TestBuildNoFuseThroughR0(t *testing.T) {
     st  r0, 0(r1)
     halt
 `)
-	tr := trace.Build(d, []int32{0, 1}, nil)
+	tr := trace.Build(d, []int32{0, 1}, nil, nil)
 	if len(tr.Ops) != 2 || tr.Ops[0].Code != trace.CAdd || tr.Ops[1].Code != trace.CStore {
 		t.Fatalf("ops = %+v, want unfused CAdd, CStore", tr.Ops)
 	}
@@ -112,5 +112,229 @@ func TestBlacklistTombstone(t *testing.T) {
 	eng.Invalidate(3)
 	if eng.Traces[3] != nil || eng.Counts[3] != 0 {
 		t.Fatalf("invalidate left traces[3]=%v counts[3]=%d", eng.Traces[3], eng.Counts[3])
+	}
+}
+
+// TestInvalidateRecounts: after a tombstone (or trace) is dropped, the head
+// counts hotness from zero and can hold a freshly built trace again — the
+// re-record path behind recipe-change invalidation.
+func TestInvalidateRecounts(t *testing.T) {
+	d := mustParse(t, `
+loop:
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt
+`)
+	eng := trace.NewEngine(trace.Config{Enable: true, Threshold: 4}, 8)
+	eng.Counts[0] = 9
+	eng.Blacklist(0)
+	eng.Invalidate(0)
+	if eng.Counts[0] != 0 {
+		t.Fatalf("counts[0] = %d after invalidate, want 0 (re-count from scratch)", eng.Counts[0])
+	}
+	// The head re-earns its trace: count back up and install a real build.
+	for i := uint32(0); i < 4; i++ {
+		eng.Counts[0]++
+	}
+	tr := trace.Build(d, []int32{0, 1}, nil, nil)
+	eng.Traces[0] = tr
+	eng.Built++
+	if got := eng.Traces[0]; got == nil || got.Ops == nil {
+		t.Fatalf("rebuilt trace = %+v, want live trace after tombstone drop", got)
+	}
+	if eng.Blacklisted != 1 || eng.Built != 1 {
+		t.Fatalf("blacklisted=%d built=%d, want 1/1", eng.Blacklisted, eng.Built)
+	}
+}
+
+// auxProgram builds a decoded program whose loop body crosses a REC and an
+// RCMP (not expressible in asm text): addi, rec, rcmp, blt back to head.
+func auxProgram(t *testing.T) *isa.Decoded {
+	t.Helper()
+	p := &isa.Program{Name: "aux-loop", Code: []isa.Instr{
+		{Op: isa.ADDI, Dst: 5, Src1: 5, Imm: 1},
+		{Op: isa.REC, SliceID: 0, Src1: 5, Src2: 6},
+		{Op: isa.RCMP, Dst: 7, Src1: 5, SliceID: 0, Target: 0},
+		{Op: isa.BLT, Src1: 5, Src2: 6, Imm: 0},
+		{Op: isa.HALT},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return p.Decoded()
+}
+
+// sigmap is a test AuxSigger answering from a mutable map.
+type sigmap map[int]uint64
+
+func (s sigmap) AuxSig(pc int) uint64 { return s[pc] }
+
+// TestBuildCapturesAuxSigs: REC/RCMP become CRec/CRcmp entries holding the
+// signature the sigger answered at record time.
+func TestBuildCapturesAuxSigs(t *testing.T) {
+	d := auxProgram(t)
+	sig := sigmap{1: 0xAB, 2: 0xCD}
+	tr := trace.Build(d, []int32{0, 1, 2, 3}, nil, sig)
+	if len(tr.Ops) != 4 {
+		t.Fatalf("got %d ops, want 4 (aux ops are fusion barriers): %+v", len(tr.Ops), tr.Ops)
+	}
+	if tr.Ops[1].Code != trace.CRec || tr.Ops[1].AuxSig != 0xAB {
+		t.Errorf("op1 = %+v, want CRec sig 0xAB", tr.Ops[1])
+	}
+	if tr.Ops[2].Code != trace.CRcmp || tr.Ops[2].AuxSig != 0xCD {
+		t.Errorf("op2 = %+v, want CRcmp sig 0xCD", tr.Ops[2])
+	}
+	if tr.Ops[3].Code != trace.CGuard {
+		t.Errorf("op3 = %+v, want unfused CGuard (CRcmp is no ALU)", tr.Ops[3])
+	}
+}
+
+// TestRecordableAux: the aux set widens recordability by exactly REC and
+// RCMP; RTN stays unrecordable under both predicates.
+func TestRecordableAux(t *testing.T) {
+	for k := isa.Kind(0); k < isa.KindBad; k++ {
+		plain, aux := trace.Recordable(k), trace.RecordableAux(k)
+		switch k {
+		case isa.KindRec, isa.KindRcmp:
+			if plain || !aux {
+				t.Errorf("kind %d: plain=%v aux=%v, want false/true", k, plain, aux)
+			}
+		default:
+			if plain != aux {
+				t.Errorf("kind %d: plain=%v aux=%v, want equal outside REC/RCMP", k, plain, aux)
+			}
+		}
+	}
+	if trace.RecordableAux(isa.KindRtn) {
+		t.Errorf("RTN must stay unrecordable")
+	}
+}
+
+// TestInvalidateStale: only traces holding an aux site whose live signature
+// changed are dropped; the head re-counts from zero, and a later
+// InvalidateStale with no further changes is a no-op.
+func TestInvalidateStale(t *testing.T) {
+	d := auxProgram(t)
+	sig := sigmap{1: 0xAB, 2: 0xCD}
+	eng := trace.NewEngine(trace.Config{Enable: true}, 8)
+
+	aux := trace.Build(d, []int32{0, 1, 2, 3}, nil, sig)
+	eng.Traces[0] = aux
+	eng.RegisterAuxSites(aux)
+
+	// A plain trace (no aux ops) at another head must survive any recipe
+	// change.
+	dp := mustParse(t, `
+loop:
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt
+`)
+	plain := trace.Build(dp, []int32{0, 1}, nil, nil)
+	eng.Traces[2] = plain
+	eng.RegisterAuxSites(plain)
+
+	eng.Counts[0] = 5
+	eng.InvalidateStale(sig) // signatures unchanged: nothing drops
+	if eng.Traces[0] == nil || eng.Invalidations != 0 || eng.Counts[0] != 5 {
+		t.Fatalf("unchanged sigs invalidated: traces[0]=%v inv=%d counts=%d",
+			eng.Traces[0], eng.Invalidations, eng.Counts[0])
+	}
+
+	sig[2] = 0xCF // the RCMP site's recipe state changed (failed bit)
+	eng.InvalidateStale(sig)
+	if eng.Traces[0] != nil || eng.Counts[0] != 0 {
+		t.Fatalf("stale trace survived: traces[0]=%v counts=%d", eng.Traces[0], eng.Counts[0])
+	}
+	if eng.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", eng.Invalidations)
+	}
+	if eng.Traces[2] == nil {
+		t.Fatalf("plain trace dropped by aux invalidation")
+	}
+
+	// The dropped head's sites are gone: re-signing is a no-op until a
+	// rebuild re-registers them.
+	eng.InvalidateStale(sigmap{1: 1, 2: 2})
+	if eng.Invalidations != 1 {
+		t.Fatalf("invalidations = %d after drop, want still 1", eng.Invalidations)
+	}
+
+	// Rebuild against the live signatures: the head is valid again and a
+	// further unchanged re-sign keeps it.
+	aux2 := trace.Build(d, []int32{0, 1, 2, 3}, nil, sig)
+	eng.Traces[0] = aux2
+	eng.RegisterAuxSites(aux2)
+	eng.InvalidateStale(sig)
+	if eng.Traces[0] == nil || eng.Invalidations != 1 {
+		t.Fatalf("rebuilt trace dropped: traces[0]=%v inv=%d", eng.Traces[0], eng.Invalidations)
+	}
+}
+
+// TestBatchDeadCharges: NBat pre-sums maximal batchable runs — memory and
+// aux ops are breakers that count positionally (weight 0), a guard
+// terminates its run inclusively (ALU+branch fusions weigh 2), and interior
+// ops stay 0. The per-trace invariant: head NBat weights plus positional
+// breaker counts equal NInstr.
+func TestBatchDeadCharges(t *testing.T) {
+	// Straight ALU run closed by a fused compare-and-branch: one batch.
+	d := mustParse(t, `
+loop:
+    addi r2, r2, 1
+    addi r3, r3, 2
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt
+`)
+	tr := trace.Build(d, []int32{0, 1, 2, 3}, nil, nil)
+	if len(tr.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3: %+v", len(tr.Ops), tr.Ops)
+	}
+	if got := []uint32{tr.Ops[0].NBat, tr.Ops[1].NBat, tr.Ops[2].NBat}; got[0] != 4 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("NBat = %v, want [4 0 0] (addi+addi+CAluGuard(2) batched at the head)", got)
+	}
+
+	// A guard mid-trace terminates its run inclusively; the ops after the
+	// potential side exit start a new run.
+	d2 := mustParse(t, `
+loop:
+    addi r5, r5, 1
+    beq  r5, r7, out
+    add  r2, r2, r2
+    jmp  loop
+out:
+    halt
+`)
+	tr2 := trace.Build(d2, []int32{0, 1, 2, 3}, nil, nil)
+	if len(tr2.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3: %+v", len(tr2.Ops), tr2.Ops)
+	}
+	if got := []uint32{tr2.Ops[0].NBat, tr2.Ops[1].NBat, tr2.Ops[2].NBat}; got[0] != 2 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("NBat = %v, want [2 2 0] (guard closes run; add+jmp batch after the exit)", got)
+	}
+
+	// Memory and aux ops break runs and contribute nothing.
+	d3 := auxProgram(t)
+	tr3 := trace.Build(d3, []int32{0, 1, 2, 3}, nil, sigmap{})
+	if got := []uint32{tr3.Ops[0].NBat, tr3.Ops[1].NBat, tr3.Ops[2].NBat, tr3.Ops[3].NBat}; got[0] != 1 || got[1] != 0 || got[2] != 0 || got[3] != 1 {
+		t.Errorf("NBat = %v, want [1 0 0 1] (aux ops are weight-0 breakers)", got)
+	}
+
+	// Invariant on every built trace: batched weights + positional breakers
+	// retire exactly NInstr original instructions.
+	for _, c := range []*trace.Trace{tr, tr2, tr3} {
+		var sum uint64
+		for _, op := range c.Ops {
+			sum += uint64(op.NBat)
+			switch op.Code {
+			case trace.CLoad, trace.CStore, trace.CRec, trace.CRcmp:
+				sum++
+			case trace.CLoadAlu, trace.CAluStore:
+				sum += 2
+			}
+		}
+		if sum != c.NInstr {
+			t.Errorf("trace head %d: batched+positional = %d, want NInstr %d", c.Head, sum, c.NInstr)
+		}
 	}
 }

@@ -19,6 +19,10 @@ package uarch
 // file is never touched during recomputation.
 type SFile struct {
 	entries []sfileEntry
+	// gen is the current traversal's generation: an entry is valid only if
+	// it was written under the current generation, so Begin invalidates all
+	// previous contents by bumping one counter instead of clearing slots.
+	gen uint64
 	// Reads / Writes count accesses for reporting.
 	Reads, Writes uint64
 	// Overflows counts traversals rejected because the slice needed more
@@ -27,14 +31,14 @@ type SFile struct {
 }
 
 type sfileEntry struct {
-	val   uint64
-	valid bool
+	val uint64
+	gen uint64
 }
 
 // NewSFile returns an SFile with the given entry count. The paper's loose
 // upper bound is max-instructions-per-slice × 3 (§3.4).
 func NewSFile(capacity int) *SFile {
-	return &SFile{entries: make([]sfileEntry, capacity)}
+	return &SFile{entries: make([]sfileEntry, capacity), gen: 1}
 }
 
 // Capacity returns the entry count.
@@ -48,15 +52,13 @@ func (s *SFile) Begin(n int) bool {
 		s.Overflows++
 		return false
 	}
-	for i := 0; i < n; i++ {
-		s.entries[i] = sfileEntry{}
-	}
+	s.gen++
 	return true
 }
 
 // Write stores a recomputing instruction's result into its slot.
 func (s *SFile) Write(slot int, v uint64) {
-	s.entries[slot] = sfileEntry{val: v, valid: true}
+	s.entries[slot] = sfileEntry{val: v, gen: s.gen}
 	s.Writes++
 }
 
@@ -65,15 +67,20 @@ func (s *SFile) Write(slot int, v uint64) {
 func (s *SFile) Read(slot int) (uint64, bool) {
 	s.Reads++
 	e := s.entries[slot]
-	return e.val, e.valid
+	return e.val, e.gen == s.gen
 }
 
 // Hist buffers non-recomputable leaf inputs: up to three operand values per
 // entry (max#src, §3.4), keyed by the compiler-assigned Hist ID (the
 // "leaf-address" of the paper). Capacity overflow fails the REC.
+//
+// Hist IDs are assigned densely by the compiler (0..n-1 in slice emission
+// order), so the table is a direct-indexed slice grown on demand — the
+// per-REC/RCMP lookup is an array load, not a map probe.
 type Hist struct {
 	capacity int
-	entries  map[int]histEntry
+	entries  []histEntry // indexed by Hist ID
+	used     int         // live entry count (capacity accounting)
 	// MaxUsed tracks the high-water mark of allocated entries (for the
 	// §5.4 sizing analysis: "no more than 600 entries").
 	MaxUsed int
@@ -84,30 +91,43 @@ type Hist struct {
 type histEntry struct {
 	vals [3]uint64
 	mask uint8
+	live bool
 }
 
 // NewHist returns a Hist with the given entry capacity.
 func NewHist(capacity int) *Hist {
-	return &Hist{capacity: capacity, entries: make(map[int]histEntry)}
+	return &Hist{capacity: capacity}
 }
 
 // Capacity returns the entry capacity.
 func (h *Hist) Capacity() int { return h.capacity }
 
 // Used returns the number of live entries.
-func (h *Hist) Used() int { return len(h.entries) }
+func (h *Hist) Used() int { return h.used }
 
 // Write checkpoints the masked values into entry id. It reports false when
 // the table is full and id has no existing entry (a failed REC, §3.5).
 func (h *Hist) Write(id int, vals [3]uint64, mask uint8) bool {
-	if _, ok := h.entries[id]; !ok && len(h.entries) >= h.capacity {
-		h.FailedWrites++
-		return false
+	if id >= len(h.entries) {
+		if h.used >= h.capacity {
+			h.FailedWrites++
+			return false
+		}
+		h.entries = append(h.entries, make([]histEntry, id+1-len(h.entries))...)
 	}
-	h.entries[id] = histEntry{vals: vals, mask: mask}
-	if len(h.entries) > h.MaxUsed {
-		h.MaxUsed = len(h.entries)
+	e := &h.entries[id]
+	if !e.live {
+		if h.used >= h.capacity {
+			h.FailedWrites++
+			return false
+		}
+		e.live = true
+		h.used++
+		if h.used > h.MaxUsed {
+			h.MaxUsed = h.used
+		}
 	}
+	e.vals, e.mask = vals, mask
 	h.Writes++
 	return true
 }
@@ -116,25 +136,36 @@ func (h *Hist) Write(id int, vals [3]uint64, mask uint8) bool {
 // never recorded.
 func (h *Hist) Read(id, slot int) (uint64, bool) {
 	h.Reads++
-	e, ok := h.entries[id]
-	if !ok || e.mask&(1<<uint(slot)) == 0 {
+	if id >= len(h.entries) {
+		return 0, false
+	}
+	e := &h.entries[id]
+	if !e.live || e.mask&(1<<uint(slot)) == 0 {
 		return 0, false
 	}
 	return e.vals[slot], true
 }
 
 // Invalidate drops entry id (space deallocation).
-func (h *Hist) Invalidate(id int) { delete(h.entries, id) }
+func (h *Hist) Invalidate(id int) {
+	if id < len(h.entries) && h.entries[id].live {
+		h.entries[id] = histEntry{}
+		h.used--
+	}
+}
 
 // IBuff caches recomputing instructions so repeated traversals of hot
 // slices are fed from a small buffer instead of the L1 instruction cache.
 // It is modeled at slice granularity with LRU replacement: a slice whose
 // body fits is resident after its first traversal.
+// Slice IDs are dense (a slice's position in the compiled program), so
+// residency and LRU state are direct-indexed slices grown on demand: the
+// per-traversal bookkeeping is two array accesses instead of map probes.
 type IBuff struct {
-	capacity int // total instruction entries
-	resident map[int]int
+	capacity int     // total instruction entries
+	resident []int32 // body length per resident slice ID; -1 = absent
 	lruClock uint64
-	lru      map[int]uint64
+	lru      []uint64 // last-touch clock per slice ID
 	used     int
 	// HitInstrs / MissInstrs count instruction fetches served by IBuff vs
 	// the instruction cache.
@@ -144,19 +175,32 @@ type IBuff struct {
 // NewIBuff returns an IBuff holding up to capacity recomputing instructions
 // (0 disables it: every fetch misses).
 func NewIBuff(capacity int) *IBuff {
-	return &IBuff{capacity: capacity, resident: make(map[int]int), lru: make(map[int]uint64)}
+	return &IBuff{capacity: capacity}
 }
 
 // Capacity returns the instruction-entry capacity.
 func (b *IBuff) Capacity() int { return b.capacity }
 
+// grow extends the per-slice tables to cover sliceID.
+func (b *IBuff) grow(sliceID int) {
+	for len(b.resident) <= sliceID {
+		b.resident = append(b.resident, -1)
+	}
+	if len(b.lru) <= sliceID {
+		b.lru = append(b.lru, make([]uint64, sliceID+1-len(b.lru))...)
+	}
+}
+
 // Traverse records a traversal of slice sliceID with bodyLen instructions
 // and returns how many instruction fetches hit in IBuff (the rest come from
 // the instruction cache). A slice that does not fit is never resident.
 func (b *IBuff) Traverse(sliceID, bodyLen int) (hits, misses int) {
+	if sliceID >= len(b.resident) {
+		b.grow(sliceID)
+	}
 	b.lruClock++
 	b.lru[sliceID] = b.lruClock
-	if n, ok := b.resident[sliceID]; ok && n == bodyLen {
+	if n := b.resident[sliceID]; n >= 0 && int(n) == bodyLen {
 		b.HitInstrs += uint64(bodyLen)
 		return bodyLen, 0
 	}
@@ -165,15 +209,20 @@ func (b *IBuff) Traverse(sliceID, bodyLen int) (hits, misses int) {
 		for b.used+bodyLen > b.capacity {
 			b.evictLRU()
 		}
-		b.resident[sliceID] = bodyLen
+		b.resident[sliceID] = int32(bodyLen)
 		b.used += bodyLen
 	}
 	return 0, bodyLen
 }
 
+// evictLRU drops the least-recently-touched resident slice. Clock values
+// are unique (one tick per traversal), so the minimum is unambiguous.
 func (b *IBuff) evictLRU() {
 	victim, best := -1, uint64(0)
-	for id := range b.resident {
+	for id, n := range b.resident {
+		if n < 0 {
+			continue
+		}
 		if t := b.lru[id]; victim == -1 || t < best {
 			victim, best = id, t
 		}
@@ -181,8 +230,8 @@ func (b *IBuff) evictLRU() {
 	if victim == -1 {
 		return
 	}
-	b.used -= b.resident[victim]
-	delete(b.resident, victim)
+	b.used -= int(b.resident[victim])
+	b.resident[victim] = -1
 }
 
 // Config sizes the amnesic structures. Defaults follow §5.4: fewer than 50
